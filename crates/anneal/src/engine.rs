@@ -1,0 +1,360 @@
+//! The annealing engine.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::Schedule;
+
+/// A problem the annealer can optimize: a state space with a cost function
+/// and a random perturbation.
+///
+/// Implementations must be deterministic given the RNG: the engine is
+/// seeded, and the paper's protocol ("every test case is performed 20 times
+/// using different random number generator seeds") relies on run-to-run
+/// reproducibility per seed.
+pub trait Problem {
+    /// A candidate solution. Cloned when a new best is found and for
+    /// per-temperature snapshots.
+    type State: Clone;
+
+    /// The starting state.
+    fn initial_state(&self) -> Self::State;
+
+    /// The cost to minimize. Must be finite for every reachable state.
+    fn cost(&self, state: &Self::State) -> f64;
+
+    /// Randomly perturbs `state` in place.
+    fn perturb<R: Rng>(&self, state: &mut Self::State, rng: &mut R);
+}
+
+/// Statistics of one annealing run.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AnnealStats {
+    /// Temperature steps executed.
+    pub temperatures: usize,
+    /// Moves accepted (including improving moves).
+    pub accepted: usize,
+    /// Moves rejected.
+    pub rejected: usize,
+    /// The adaptive initial temperature used.
+    pub initial_temperature: f64,
+    /// The final temperature reached.
+    pub final_temperature: f64,
+}
+
+impl AnnealStats {
+    /// Fraction of proposed moves that were accepted.
+    #[must_use]
+    pub fn acceptance_ratio(&self) -> f64 {
+        let total = self.accepted + self.rejected;
+        if total == 0 {
+            0.0
+        } else {
+            self.accepted as f64 / total as f64
+        }
+    }
+}
+
+/// The locally optimized solution at the end of one temperature step —
+/// what the paper's Experiment 2 extracts "at each temperature-dropping
+/// step".
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TemperatureSnapshot<S> {
+    /// The temperature at which the step ran.
+    pub temperature: f64,
+    /// The *current* state at the end of the step — the locally
+    /// optimized intermediate solution the paper extracts.
+    pub current_state: S,
+    /// The current state's cost.
+    pub current_cost: f64,
+    /// Best-so-far state at the end of the step.
+    pub best_state: S,
+    /// Best-so-far cost at the end of the step.
+    pub best_cost: f64,
+    /// Acceptance ratio within the step.
+    pub acceptance_ratio: f64,
+}
+
+/// The outcome of an annealing run.
+#[derive(Debug, Clone)]
+pub struct AnnealResult<S> {
+    /// The best state encountered.
+    pub best: S,
+    /// Its cost.
+    pub best_cost: f64,
+    /// Run statistics.
+    pub stats: AnnealStats,
+    /// Per-temperature snapshots (empty unless
+    /// [`Schedule::snapshot_per_temperature`] is set).
+    pub snapshots: Vec<TemperatureSnapshot<S>>,
+}
+
+/// A configured annealer. Stateless apart from the schedule; `run` may be
+/// called many times with different seeds.
+///
+/// See the [crate-level example](crate) for usage.
+#[derive(Debug, Clone, Copy)]
+pub struct Annealer {
+    schedule: Schedule,
+}
+
+impl Annealer {
+    /// Creates an annealer with the given schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the schedule parameters are out of range
+    /// (see [`Schedule::validate`]).
+    #[must_use]
+    pub fn new(schedule: Schedule) -> Annealer {
+        schedule.validate();
+        Annealer { schedule }
+    }
+
+    /// The schedule in use.
+    #[must_use]
+    pub fn schedule(&self) -> &Schedule {
+        &self.schedule
+    }
+
+    /// Runs one seeded annealing optimization.
+    ///
+    /// Identical `(problem, seed)` pairs produce identical results.
+    pub fn run<P: Problem>(&self, problem: &P, seed: u64) -> AnnealResult<P::State> {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut current = problem.initial_state();
+        let mut current_cost = problem.cost(&current);
+        let mut best = current.clone();
+        let mut best_cost = current_cost;
+
+        let initial_temperature = self.estimate_initial_temperature(problem, &mut rng);
+        let mut temperature = initial_temperature;
+        let min_temperature = initial_temperature * self.schedule.min_temperature_ratio;
+
+        let mut stats = AnnealStats {
+            initial_temperature,
+            final_temperature: initial_temperature,
+            ..AnnealStats::default()
+        };
+        let mut snapshots = Vec::new();
+
+        for _ in 0..self.schedule.max_temperatures {
+            if temperature < min_temperature {
+                break;
+            }
+            let mut step_accepted = 0usize;
+            for _ in 0..self.schedule.moves_per_temperature {
+                let mut candidate = current.clone();
+                problem.perturb(&mut candidate, &mut rng);
+                let candidate_cost = problem.cost(&candidate);
+                let delta = candidate_cost - current_cost;
+                let accept = delta <= 0.0 || rng.gen::<f64>() < (-delta / temperature).exp();
+                if accept {
+                    current = candidate;
+                    current_cost = candidate_cost;
+                    step_accepted += 1;
+                    if current_cost < best_cost {
+                        best = current.clone();
+                        best_cost = current_cost;
+                    }
+                } else {
+                    stats.rejected += 1;
+                }
+            }
+            stats.accepted += step_accepted;
+            stats.temperatures += 1;
+            stats.final_temperature = temperature;
+            if self.schedule.snapshot_per_temperature {
+                snapshots.push(TemperatureSnapshot {
+                    temperature,
+                    current_state: current.clone(),
+                    current_cost,
+                    best_state: best.clone(),
+                    best_cost,
+                    acceptance_ratio: step_accepted as f64
+                        / self.schedule.moves_per_temperature as f64,
+                });
+            }
+            // Frozen: a full step with no accepted move cannot thaw at a
+            // lower temperature.
+            if step_accepted == 0 {
+                break;
+            }
+            temperature *= self.schedule.cooling;
+        }
+
+        AnnealResult {
+            best,
+            best_cost,
+            stats,
+            snapshots,
+        }
+    }
+
+    /// Samples random moves from the initial state and sets T₀ so the
+    /// average uphill move is accepted with the configured probability:
+    /// `T₀ = Δ̄⁺ / ln(1 / p₀)`.
+    fn estimate_initial_temperature<P: Problem>(
+        &self,
+        problem: &P,
+        rng: &mut ChaCha8Rng,
+    ) -> f64 {
+        const SAMPLES: usize = 64;
+        let mut state = problem.initial_state();
+        let mut cost = problem.cost(&state);
+        let mut uphill_sum = 0.0;
+        let mut uphill_count = 0usize;
+        for _ in 0..SAMPLES {
+            let mut candidate = state.clone();
+            problem.perturb(&mut candidate, rng);
+            let candidate_cost = problem.cost(&candidate);
+            let delta = candidate_cost - cost;
+            if delta > 0.0 {
+                uphill_sum += delta;
+                uphill_count += 1;
+            }
+            // Random-walk to sample the neighbourhood, not just the
+            // initial state's immediate neighbours.
+            state = candidate;
+            cost = candidate_cost;
+        }
+        if uphill_count == 0 {
+            // Flat or monotonically improving landscape: any small positive
+            // temperature works; scale to the cost magnitude.
+            return (cost.abs() * 0.01).max(1e-9);
+        }
+        let avg_uphill = uphill_sum / uphill_count as f64;
+        avg_uphill / (1.0 / self.schedule.initial_acceptance).ln()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Discrete quadratic bowl over integers.
+    struct Bowl;
+
+    impl Problem for Bowl {
+        type State = i64;
+        fn initial_state(&self) -> i64 {
+            1000
+        }
+        fn cost(&self, s: &i64) -> f64 {
+            ((s - 7) * (s - 7)) as f64
+        }
+        fn perturb<R: Rng>(&self, s: &mut i64, rng: &mut R) {
+            *s += rng.gen_range(-10..=10);
+        }
+    }
+
+    #[test]
+    fn finds_bowl_minimum() {
+        let result = Annealer::new(Schedule::default()).run(&Bowl, 1);
+        assert!(
+            (result.best - 7).abs() <= 2,
+            "best {} should be near 7",
+            result.best
+        );
+        assert!(result.best_cost <= 4.0);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let annealer = Annealer::new(Schedule::quick());
+        let a = annealer.run(&Bowl, 99);
+        let b = annealer.run(&Bowl, 99);
+        assert_eq!(a.best, b.best);
+        assert_eq!(a.stats, b.stats);
+    }
+
+    #[test]
+    fn different_seeds_explore_differently() {
+        let annealer = Annealer::new(Schedule::quick());
+        let a = annealer.run(&Bowl, 1);
+        let b = annealer.run(&Bowl, 2);
+        // Both should be good, but the trajectories differ.
+        assert_ne!(
+            (a.stats.accepted, a.stats.rejected),
+            (b.stats.accepted, b.stats.rejected)
+        );
+    }
+
+    #[test]
+    fn snapshots_recorded_when_enabled() {
+        let schedule = Schedule {
+            snapshot_per_temperature: true,
+            ..Schedule::quick()
+        };
+        let result = Annealer::new(schedule).run(&Bowl, 5);
+        assert_eq!(result.snapshots.len(), result.stats.temperatures);
+        // Best cost is non-increasing across snapshots.
+        for pair in result.snapshots.windows(2) {
+            assert!(pair[1].best_cost <= pair[0].best_cost);
+            assert!(pair[1].temperature < pair[0].temperature);
+        }
+    }
+
+    #[test]
+    fn no_snapshots_by_default() {
+        let result = Annealer::new(Schedule::quick()).run(&Bowl, 5);
+        assert!(result.snapshots.is_empty());
+    }
+
+    #[test]
+    fn stats_are_consistent() {
+        let schedule = Schedule::quick();
+        let result = Annealer::new(schedule).run(&Bowl, 3);
+        let proposed = result.stats.accepted + result.stats.rejected;
+        assert_eq!(
+            proposed,
+            result.stats.temperatures * schedule.moves_per_temperature
+        );
+        assert!(result.stats.initial_temperature > 0.0);
+        assert!(result.stats.final_temperature <= result.stats.initial_temperature);
+        let ratio = result.stats.acceptance_ratio();
+        assert!((0.0..=1.0).contains(&ratio));
+    }
+
+    /// A flat landscape: every state costs the same.
+    struct Flat;
+
+    impl Problem for Flat {
+        type State = u8;
+        fn initial_state(&self) -> u8 {
+            0
+        }
+        fn cost(&self, _: &u8) -> f64 {
+            5.0
+        }
+        fn perturb<R: Rng>(&self, s: &mut u8, rng: &mut R) {
+            *s = rng.gen();
+        }
+    }
+
+    #[test]
+    fn flat_landscape_terminates() {
+        let result = Annealer::new(Schedule::quick()).run(&Flat, 0);
+        assert_eq!(result.best_cost, 5.0);
+        assert!(result.stats.temperatures > 0);
+    }
+
+    #[test]
+    fn best_never_worse_than_initial() {
+        let annealer = Annealer::new(Schedule::quick());
+        for seed in 0..10 {
+            let result = annealer.run(&Bowl, seed);
+            assert!(result.best_cost <= Bowl.cost(&Bowl.initial_state()));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cooling")]
+    fn annealer_rejects_invalid_schedule() {
+        let _ = Annealer::new(Schedule {
+            cooling: 0.0,
+            ..Schedule::default()
+        });
+    }
+}

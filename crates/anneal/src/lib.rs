@@ -1,0 +1,45 @@
+//! A seeded simulated-annealing engine.
+//!
+//! The DATE 2004 paper's floorplanner is "based on simulated annealing
+//! algorithm with normalized Polish expression" (§5). This crate provides
+//! the annealing half: a generic engine with the classic geometric cooling
+//! schedule, an adaptive initial temperature derived from the average
+//! uphill move (Wong–Liu style), and — crucially for the paper's
+//! Experiment 2 — a per-temperature snapshot log of the locally optimized
+//! intermediate solutions.
+//!
+//! # Examples
+//!
+//! Annealing a toy one-dimensional problem:
+//!
+//! ```
+//! use irgrid_anneal::{Annealer, Problem, Schedule};
+//! use rand::Rng;
+//!
+//! struct Parabola;
+//!
+//! impl Problem for Parabola {
+//!     type State = f64;
+//!     fn initial_state(&self) -> f64 {
+//!         100.0
+//!     }
+//!     fn cost(&self, s: &f64) -> f64 {
+//!         (s - 3.0) * (s - 3.0)
+//!     }
+//!     fn perturb<R: Rng>(&self, s: &mut f64, rng: &mut R) {
+//!         *s += rng.gen_range(-1.0..1.0);
+//!     }
+//! }
+//!
+//! let result = Annealer::new(Schedule::default()).run(&Parabola, 42);
+//! assert!((result.best - 3.0).abs() < 1.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod engine;
+mod schedule;
+
+pub use engine::{AnnealResult, AnnealStats, Annealer, Problem, TemperatureSnapshot};
+pub use schedule::Schedule;

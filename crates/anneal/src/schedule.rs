@@ -1,0 +1,136 @@
+//! Annealing schedule parameters.
+
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the geometric annealing schedule.
+///
+/// The initial temperature is chosen adaptively so that a random uphill
+/// move is accepted with probability [`initial_acceptance`]; each
+/// temperature step multiplies the temperature by [`cooling`] and runs
+/// [`moves_per_temperature`] proposed moves; annealing stops when the
+/// temperature drops below `initial × min_temperature_ratio`, when
+/// [`max_temperatures`] steps have run, or when a whole temperature step
+/// accepts nothing.
+///
+/// [`initial_acceptance`]: Schedule::initial_acceptance
+/// [`cooling`]: Schedule::cooling
+/// [`moves_per_temperature`]: Schedule::moves_per_temperature
+/// [`max_temperatures`]: Schedule::max_temperatures
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Schedule {
+    /// Target acceptance probability of an average uphill move at the
+    /// initial temperature (classically ~0.95).
+    pub initial_acceptance: f64,
+    /// Geometric cooling ratio λ, 0 < λ < 1 (classically 0.85–0.95).
+    pub cooling: f64,
+    /// Proposed moves per temperature step.
+    pub moves_per_temperature: usize,
+    /// Stop when `T < T₀ × min_temperature_ratio`.
+    pub min_temperature_ratio: f64,
+    /// Hard cap on the number of temperature steps.
+    pub max_temperatures: usize,
+    /// Whether to record a [`TemperatureSnapshot`] per temperature step
+    /// (needed by the paper's Experiment 2; costs one state clone per
+    /// step).
+    ///
+    /// [`TemperatureSnapshot`]: crate::TemperatureSnapshot
+    pub snapshot_per_temperature: bool,
+}
+
+impl Schedule {
+    /// Validates the parameter ranges.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a descriptive message if a parameter is out of range.
+    /// Called by the engine before running.
+    pub fn validate(&self) {
+        assert!(
+            self.initial_acceptance > 0.0 && self.initial_acceptance < 1.0,
+            "initial_acceptance must be in (0, 1), got {}",
+            self.initial_acceptance
+        );
+        assert!(
+            self.cooling > 0.0 && self.cooling < 1.0,
+            "cooling must be in (0, 1), got {}",
+            self.cooling
+        );
+        assert!(
+            self.moves_per_temperature > 0,
+            "moves_per_temperature must be positive"
+        );
+        assert!(
+            self.min_temperature_ratio > 0.0 && self.min_temperature_ratio < 1.0,
+            "min_temperature_ratio must be in (0, 1), got {}",
+            self.min_temperature_ratio
+        );
+        assert!(self.max_temperatures > 0, "max_temperatures must be positive");
+    }
+
+    /// A faster schedule for tests and smoke runs.
+    #[must_use]
+    pub fn quick() -> Schedule {
+        Schedule {
+            moves_per_temperature: 60,
+            cooling: 0.80,
+            max_temperatures: 60,
+            ..Schedule::default()
+        }
+    }
+}
+
+impl Default for Schedule {
+    /// The paper-era classic: acceptance 0.95, λ = 0.9, stop at T₀/10⁵ or
+    /// 300 temperatures.
+    fn default() -> Schedule {
+        Schedule {
+            initial_acceptance: 0.95,
+            cooling: 0.90,
+            moves_per_temperature: 400,
+            min_temperature_ratio: 1e-5,
+            max_temperatures: 300,
+            snapshot_per_temperature: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        Schedule::default().validate();
+        Schedule::quick().validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "cooling must be in (0, 1)")]
+    fn rejects_bad_cooling() {
+        Schedule {
+            cooling: 1.5,
+            ..Schedule::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "initial_acceptance")]
+    fn rejects_bad_acceptance() {
+        Schedule {
+            initial_acceptance: 0.0,
+            ..Schedule::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "moves_per_temperature")]
+    fn rejects_zero_moves() {
+        Schedule {
+            moves_per_temperature: 0,
+            ..Schedule::default()
+        }
+        .validate();
+    }
+}

@@ -1,0 +1,81 @@
+//! Floorplanner-substrate benchmarks: packing, perturbation, pin
+//! placement + MST decomposition, and one full cost evaluation — the
+//! inner loop of the annealer.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use irgrid::anneal::Problem;
+use irgrid::congestion::IrregularGridModel;
+use irgrid::floorplan::{pack, two_pin_segments, PinPlacer, PolishExpr};
+use irgrid::floorplanner::{FloorplanProblem, Weights};
+use irgrid::geom::Um;
+use irgrid::netlist::mcnc::McncCircuit;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn bench_pack(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pack");
+    for bench in McncCircuit::ALL {
+        let circuit = bench.circuit();
+        let expr = PolishExpr::initial(circuit.modules().len());
+        group.bench_with_input(BenchmarkId::from_parameter(bench.name()), &expr, |b, e| {
+            b.iter(|| pack(black_box(e), black_box(&circuit)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_perturb(c: &mut Criterion) {
+    let circuit = McncCircuit::Ami49.circuit();
+    let mut expr = PolishExpr::initial(circuit.modules().len());
+    let mut rng = ChaCha8Rng::seed_from_u64(8);
+    c.bench_function("perturb_ami49", |b| {
+        b.iter(|| {
+            expr.perturb_random(&mut rng);
+        })
+    });
+}
+
+fn bench_segments(c: &mut Criterion) {
+    let mut group = c.benchmark_group("two_pin_segments");
+    for bench in [McncCircuit::Hp, McncCircuit::Ami33, McncCircuit::Ami49] {
+        let circuit = bench.circuit();
+        let placement = pack(&PolishExpr::initial(circuit.modules().len()), &circuit);
+        let placer = PinPlacer::new(Um(bench.paper_grid_pitch_um()));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(bench.name()),
+            &placement,
+            |b, p| b.iter(|| two_pin_segments(black_box(&circuit), black_box(p), &placer)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_full_cost_eval(c: &mut Criterion) {
+    // One Problem::cost call = the annealer's unit of work. This is what
+    // multiplies into the Table 4/5 run times.
+    let mut group = c.benchmark_group("sa_cost_eval");
+    for bench in [McncCircuit::Hp, McncCircuit::Ami33] {
+        let circuit = bench.circuit();
+        let pitch = Um(bench.paper_grid_pitch_um());
+        let problem = FloorplanProblem::new(
+            &circuit,
+            pitch,
+            Weights::balanced(),
+            Some(IrregularGridModel::new(pitch)),
+        );
+        let expr = problem.initial_state();
+        group.bench_with_input(BenchmarkId::from_parameter(bench.name()), &expr, |b, e| {
+            b.iter(|| problem.cost(black_box(e)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_pack,
+    bench_perturb,
+    bench_segments,
+    bench_full_cost_eval
+);
+criterion_main!(benches);

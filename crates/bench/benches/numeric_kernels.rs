@@ -1,0 +1,105 @@
+//! Microbenchmarks of the numeric substrate: the per-cell and
+//! per-IR-grid arithmetic that dominates both congestion models.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use irgrid::congestion::irregular::{
+    block_probability_approx, block_probability_exact, ApproxConfig,
+};
+use irgrid::congestion::num::{
+    binomial_u128, ln_binomial, ln_gamma, normal_pdf, simpson, LnFactorials,
+};
+use irgrid::congestion::{NetType, RoutingRange};
+
+fn bench_binomials(c: &mut Criterion) {
+    let mut group = c.benchmark_group("binomial");
+    group.bench_function("exact_u128_C(60,30)", |b| {
+        b.iter(|| binomial_u128(black_box(60), black_box(30)))
+    });
+    group.bench_function("ln_gamma_C(600,300)", |b| {
+        b.iter(|| ln_binomial(black_box(600), black_box(300)))
+    });
+    let lf = LnFactorials::up_to(1024);
+    group.bench_function("table_C(600,300)", |b| {
+        b.iter(|| lf.ln_binomial(black_box(600), black_box(300)))
+    });
+    group.bench_function("table_build_1024", |b| b.iter(|| LnFactorials::up_to(1024)));
+    group.finish();
+}
+
+fn bench_scalar_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scalar");
+    group.bench_function("ln_gamma", |b| b.iter(|| ln_gamma(black_box(123.456))));
+    group.bench_function("normal_pdf", |b| {
+        b.iter(|| normal_pdf(black_box(1.3), black_box(2.0), black_box(0.7)))
+    });
+    group.bench_function("simpson_6_gaussian", |b| {
+        b.iter(|| simpson(black_box(0.0), black_box(10.0), 6, |x| normal_pdf(x, 5.0, 1.5)))
+    });
+    group.finish();
+}
+
+fn bench_block_probabilities(c: &mut Criterion) {
+    let mut group = c.benchmark_group("block_probability");
+    let lf = LnFactorials::up_to(256);
+    let config = ApproxConfig::default();
+    for (g1, g2) in [(12i64, 10i64), (31, 21), (80, 60)] {
+        let range = RoutingRange::from_cells(0, 0, g1, g2, NetType::TypeI);
+        let (x1, x2) = (g1 / 4, 3 * g1 / 4);
+        let (y1, y2) = (g2 / 4, 3 * g2 / 4);
+        group.bench_with_input(
+            BenchmarkId::new("exact_formula3", format!("{g1}x{g2}")),
+            &range,
+            |b, range| {
+                b.iter(|| {
+                    block_probability_exact(
+                        black_box(range),
+                        &lf,
+                        black_box(x1),
+                        black_box(x2),
+                        black_box(y1),
+                        black_box(y2),
+                    )
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("theorem1_approx", format!("{g1}x{g2}")),
+            &range,
+            |b, range| {
+                b.iter(|| {
+                    block_probability_approx(
+                        black_box(range),
+                        black_box(x1),
+                        black_box(x2),
+                        black_box(y1),
+                        black_box(y2),
+                        &config,
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_cell_probability(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cell_probability");
+    let lf = LnFactorials::up_to(256);
+    let range = RoutingRange::from_cells(0, 0, 40, 30, NetType::TypeI);
+    group.bench_function("table_lookup", |b| {
+        b.iter(|| range.cell_probability(&lf, black_box(17), black_box(12)))
+    });
+    group.bench_function("per_cell_gamma", |b| {
+        b.iter(|| range.cell_probability_gamma(black_box(17), black_box(12)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_binomials,
+    bench_scalar_kernels,
+    bench_block_probabilities,
+    bench_cell_probability
+);
+criterion_main!(benches);

@@ -1,0 +1,110 @@
+//! `repro` — regenerates every table and figure of the DATE 2004
+//! Irregular-Grid congestion paper on the synthetic MCNC-like suite.
+//!
+//! ```text
+//! cargo run -p irgrid-bench --release --bin repro -- <command> [flags]
+//!
+//! commands:
+//!   table1      Table 1  (area+wire floorplanner, judged)
+//!   table2      Table 2  (with the IR congestion term, judged)
+//!   table3      Tables 1+2+3 (the comparison needs both)
+//!   table45     Tables 4+5 (congestion-only, IR vs fixed grids)
+//!   figure8     Figure 8 (approximation accuracy; no annealing)
+//!   figure9     Figure 9 (per-temperature model tracking)
+//!   motivation  Figures 3/4 analogue (grid-size dependence)
+//!   ablation    Design-choice ablations (no annealing)
+//!   heatmap     Per-cell spatial agreement vs the judging map (extension)
+//!   sweep       Pitch-sensitivity sweep of the IR model (extension)
+//!   validate    Router-validation correlations (extension)
+//!   all         Everything above
+//!
+//! flags:
+//!   --quick       2 seeds, short schedule (smoke run)
+//!   --full        20 seeds, classic schedule (paper protocol)
+//!   --circuit X   restrict exp1 to one circuit (apte/xerox/hp/ami33/ami49)
+//! ```
+
+mod ablation;
+mod common;
+mod exp1;
+mod exp3;
+mod figure8;
+mod figure9;
+mod heatmap;
+mod motivation;
+mod sweep;
+mod validate;
+
+use common::Mode;
+use irgrid::netlist::mcnc::McncCircuit;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let command = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "all".into());
+    let mode = Mode::from_args(&args);
+
+    let circuits: Vec<McncCircuit> = match args.iter().position(|a| a == "--circuit") {
+        Some(i) => {
+            let name = args.get(i + 1).expect("--circuit needs a name");
+            vec![McncCircuit::from_name(name)
+                .unwrap_or_else(|| panic!("unknown circuit `{name}`"))]
+        }
+        None => McncCircuit::ALL.to_vec(),
+    };
+    // Experiments 2 and 3 use ami33 in the paper (or the chosen circuit).
+    let single = circuits
+        .first()
+        .copied()
+        .filter(|_| circuits.len() == 1)
+        .unwrap_or(McncCircuit::Ami33);
+
+    match command.as_str() {
+        "table1" => {
+            let results = exp1::run(&mode, &circuits);
+            exp1::print_table1(&results, &mode);
+        }
+        "table2" => {
+            let results = exp1::run(&mode, &circuits);
+            exp1::print_table2(&results, &mode);
+        }
+        "table3" | "exp1" => {
+            let results = exp1::run(&mode, &circuits);
+            exp1::print_table1(&results, &mode);
+            exp1::print_table2(&results, &mode);
+            exp1::print_table3(&results, &mode);
+        }
+        "table45" | "exp3" => exp3::run(&mode, single),
+        "figure8" => figure8::run(),
+        "figure9" | "exp2" => figure9::run(&mode, single),
+        "motivation" => motivation::run(),
+        "ablation" => ablation::run(single),
+        "heatmap" => heatmap::run(single),
+        "sweep" => sweep::run(single),
+        "validate" => {
+            let n = if args.iter().any(|a| a == "--quick") { 6 } else { 12 };
+            validate::run(single, n);
+        }
+        "all" => {
+            figure8::run();
+            motivation::run();
+            ablation::run(single);
+            heatmap::run(single);
+            sweep::run(single);
+            validate::run(single, 10);
+            let results = exp1::run(&mode, &circuits);
+            exp1::print_table1(&results, &mode);
+            exp1::print_table2(&results, &mode);
+            exp1::print_table3(&results, &mode);
+            figure9::run(&mode, single);
+            exp3::run(&mode, single);
+        }
+        other => {
+            eprintln!("unknown command `{other}`; see --help text in the source header");
+            std::process::exit(2);
+        }
+    }
+}

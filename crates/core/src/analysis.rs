@@ -1,0 +1,330 @@
+//! Per-cell congestion-map analysis.
+//!
+//! The paper compares models by their scalar floorplan scores; this
+//! module compares them *spatially*: rasterize any congestion map onto
+//! its unit grid and measure per-cell agreement (correlation, mean
+//! absolute error, hotspot overlap). The `repro heatmap` experiment uses
+//! it to show that the Irregular-Grid model reproduces the fixed-grid
+//! congestion *picture*, not just its top-10 % summary.
+
+use crate::{FixedCongestionMap, IrCongestionMap, LzCongestionMap};
+
+/// A congestion map rasterized onto its unit grid: `cols × rows` values
+/// in row-major order, one per pitch² cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Raster {
+    cols: usize,
+    rows: usize,
+    values: Vec<f64>,
+}
+
+impl Raster {
+    /// Builds a raster from explicit values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() != cols * rows`.
+    #[must_use]
+    pub fn new(cols: usize, rows: usize, values: Vec<f64>) -> Raster {
+        assert_eq!(values.len(), cols * rows, "raster dimensions disagree with value count");
+        Raster { cols, rows, values }
+    }
+
+    /// Grid columns.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Grid rows.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Cell values, row-major.
+    #[must_use]
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Rasterizes a fixed-grid map (an identity re-labelling: its cells
+    /// already are unit cells).
+    #[must_use]
+    pub fn from_fixed(map: &FixedCongestionMap) -> Raster {
+        Raster {
+            cols: map.grid().cols() as usize,
+            rows: map.grid().rows() as usize,
+            values: map.values().to_vec(),
+        }
+    }
+
+    /// Rasterizes an L/Z-shape map.
+    #[must_use]
+    pub fn from_lz(map: &LzCongestionMap) -> Raster {
+        Raster {
+            cols: map.grid().cols() as usize,
+            rows: map.grid().rows() as usize,
+            values: map.values().to_vec(),
+        }
+    }
+
+    /// Rasterizes an Irregular-Grid map: every unit cell of an IR-grid
+    /// receives the IR-grid's density (per-unit-cell congestion), so the
+    /// raster is directly comparable with a fixed-grid raster at the same
+    /// pitch.
+    #[must_use]
+    pub fn from_ir(map: &IrCongestionMap) -> Raster {
+        let cols = *map.x_cuts().last().expect("cuts include the boundary") as usize;
+        let rows = *map.y_cuts().last().expect("cuts include the boundary") as usize;
+        let mut values = vec![0.0f64; cols * rows];
+        for j in 0..map.ir_rows() {
+            let (y0, y1) = (map.y_cuts()[j] as usize, map.y_cuts()[j + 1] as usize);
+            for i in 0..map.ir_cols() {
+                let (x0, x1) = (map.x_cuts()[i] as usize, map.x_cuts()[i + 1] as usize);
+                let density = map.density(i, j);
+                for y in y0..y1 {
+                    for x in x0..x1 {
+                        values[y * cols + x] = density;
+                    }
+                }
+            }
+        }
+        Raster { cols, rows, values }
+    }
+
+    /// Downsamples by an integer factor, averaging `factor × factor`
+    /// blocks (partial edge blocks average their covered cells). Use to
+    /// align rasters of different pitches, e.g. a 10 µm judging raster
+    /// onto a 30 µm grid with `factor = 3`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is zero.
+    #[must_use]
+    pub fn downsample(&self, factor: usize) -> Raster {
+        assert!(factor > 0, "downsample factor must be positive");
+        let cols = self.cols.div_ceil(factor);
+        let rows = self.rows.div_ceil(factor);
+        let mut values = vec![0.0f64; cols * rows];
+        for by in 0..rows {
+            for bx in 0..cols {
+                let mut sum = 0.0;
+                let mut count = 0usize;
+                for y in (by * factor)..((by + 1) * factor).min(self.rows) {
+                    for x in (bx * factor)..((bx + 1) * factor).min(self.cols) {
+                        sum += self.values[y * self.cols + x];
+                        count += 1;
+                    }
+                }
+                values[by * cols + bx] = if count == 0 { 0.0 } else { sum / count as f64 };
+            }
+        }
+        Raster { cols, rows, values }
+    }
+}
+
+/// Per-cell agreement between two rasters of identical dimensions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MapComparison {
+    /// Pearson correlation of cell values.
+    pub pearson: f64,
+    /// Mean absolute difference after scaling `b` to `a`'s mean (the
+    /// models use different units; scale-free comparison).
+    pub scaled_mae: f64,
+    /// Jaccard overlap of the two maps' top-`fraction` hotspot cell sets.
+    pub hotspot_jaccard: f64,
+}
+
+/// Compares two rasters cell by cell.
+///
+/// # Panics
+///
+/// Panics if the rasters' dimensions differ or `fraction` is not in
+/// `(0, 1]`.
+#[must_use]
+pub fn compare(a: &Raster, b: &Raster, fraction: f64) -> MapComparison {
+    assert_eq!(
+        (a.cols, a.rows),
+        (b.cols, b.rows),
+        "rasters must share dimensions"
+    );
+    assert!(
+        fraction > 0.0 && fraction <= 1.0,
+        "fraction must be in (0, 1], got {fraction}"
+    );
+    let n = a.values.len() as f64;
+    let (ma, mb) = (
+        a.values.iter().sum::<f64>() / n,
+        b.values.iter().sum::<f64>() / n,
+    );
+
+    // Pearson.
+    let mut num = 0.0;
+    let (mut va, mut vb) = (0.0, 0.0);
+    for (&x, &y) in a.values.iter().zip(&b.values) {
+        num += (x - ma) * (y - mb);
+        va += (x - ma) * (x - ma);
+        vb += (y - mb) * (y - mb);
+    }
+    let pearson = if va <= 0.0 || vb <= 0.0 {
+        0.0
+    } else {
+        num / (va.sqrt() * vb.sqrt())
+    };
+
+    // Scale-free MAE: rescale b to a's mean.
+    let scale = if mb.abs() < f64::MIN_POSITIVE { 0.0 } else { ma / mb };
+    let scaled_mae = a
+        .values
+        .iter()
+        .zip(&b.values)
+        .map(|(&x, &y)| (x - y * scale).abs())
+        .sum::<f64>()
+        / n;
+
+    // Hotspot overlap.
+    let top_set = |r: &Raster| -> Vec<usize> {
+        let take = ((r.values.len() as f64 * fraction).ceil() as usize).clamp(1, r.values.len());
+        let mut idx: Vec<usize> = (0..r.values.len()).collect();
+        idx.sort_by(|&i, &j| r.values[j].partial_cmp(&r.values[i]).expect("finite"));
+        let mut top = idx[..take].to_vec();
+        top.sort_unstable();
+        top
+    };
+    let (ta, tb) = (top_set(a), top_set(b));
+    let mut inter = 0usize;
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < ta.len() && j < tb.len() {
+        match ta[i].cmp(&tb[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                inter += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    let union = ta.len() + tb.len() - inter;
+    let hotspot_jaccard = if union == 0 {
+        1.0
+    } else {
+        inter as f64 / union as f64
+    };
+
+    MapComparison {
+        pearson,
+        scaled_mae,
+        hotspot_jaccard,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FixedGridModel, IrregularGridModel, LzShapeModel};
+    use irgrid_geom::{Point, Rect, Um};
+
+    fn chip() -> Rect {
+        Rect::from_origin_size(Point::ORIGIN, Um(600), Um(600))
+    }
+
+    fn segments() -> Vec<(Point, Point)> {
+        vec![
+            (Point::new(Um(90), Um(90)), Point::new(Um(510), Um(510))),
+            (Point::new(Um(90), Um(510)), Point::new(Um(510), Um(90))),
+            (Point::new(Um(120), Um(300)), Point::new(Um(480), Um(330))),
+        ]
+    }
+
+    #[test]
+    fn identical_rasters_agree_perfectly() {
+        let map = FixedGridModel::new(Um(30)).congestion_map(&chip(), &segments());
+        let r = Raster::from_fixed(&map);
+        let c = compare(&r, &r, 0.1);
+        assert!((c.pearson - 1.0).abs() < 1e-12);
+        assert_eq!(c.scaled_mae, 0.0);
+        assert_eq!(c.hotspot_jaccard, 1.0);
+    }
+
+    #[test]
+    fn ir_raster_covers_unit_grid() {
+        let map = IrregularGridModel::new(Um(30)).congestion_map(&chip(), &segments());
+        let r = Raster::from_ir(&map);
+        assert_eq!(r.cols(), 20);
+        assert_eq!(r.rows(), 20);
+        // Mass consistency: sum of per-cell densities = sum of F(I)
+        // (density × area summed over cells of each IR-grid).
+        let raster_mass: f64 = r.values().iter().sum();
+        let ir_mass: f64 = (0..map.ir_rows())
+            .flat_map(|j| (0..map.ir_cols()).map(move |i| (i, j)))
+            .map(|(i, j)| map.total(i, j))
+            .sum();
+        assert!((raster_mass - ir_mass).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ir_tracks_fixed_grid_spatially() {
+        let fixed = FixedGridModel::new(Um(30)).congestion_map(&chip(), &segments());
+        let ir = IrregularGridModel::new(Um(30)).congestion_map(&chip(), &segments());
+        let c = compare(&Raster::from_fixed(&fixed), &Raster::from_ir(&ir), 0.1);
+        assert!(c.pearson > 0.5, "spatial correlation {}", c.pearson);
+        assert!(c.hotspot_jaccard > 0.2, "hotspot overlap {}", c.hotspot_jaccard);
+    }
+
+    #[test]
+    fn lz_raster_has_fixed_dimensions() {
+        let lz = LzShapeModel::new(Um(30)).congestion_map(&chip(), &segments());
+        let r = Raster::from_lz(&lz);
+        assert_eq!((r.cols(), r.rows()), (20, 20));
+    }
+
+    #[test]
+    fn downsample_averages_blocks() {
+        let r = Raster::new(4, 2, vec![1.0, 3.0, 0.0, 8.0, 5.0, 7.0, 0.0, 0.0]);
+        let d = r.downsample(2);
+        assert_eq!((d.cols(), d.rows()), (2, 1));
+        assert_eq!(d.values(), &[4.0, 2.0]);
+    }
+
+    #[test]
+    fn downsample_partial_edges() {
+        let r = Raster::new(3, 3, vec![1.0; 9]);
+        let d = r.downsample(2);
+        assert_eq!((d.cols(), d.rows()), (2, 2));
+        assert!(d.values().iter().all(|&v| (v - 1.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn downsample_aligns_judging_raster() {
+        let fine = FixedGridModel::new(Um(10)).congestion_map(&chip(), &segments());
+        let coarse = FixedGridModel::new(Um(30)).congestion_map(&chip(), &segments());
+        let down = Raster::from_fixed(&fine).downsample(3);
+        let c = compare(&Raster::from_fixed(&coarse), &down, 0.1);
+        assert!(c.pearson > 0.7, "cross-pitch correlation {}", c.pearson);
+    }
+
+    #[test]
+    fn anti_correlated_maps_score_low() {
+        let a = Raster::new(2, 2, vec![1.0, 0.0, 0.0, 1.0]);
+        let b = Raster::new(2, 2, vec![0.0, 1.0, 1.0, 0.0]);
+        let c = compare(&a, &b, 0.5);
+        assert!(c.pearson < 0.0);
+        assert_eq!(c.hotspot_jaccard, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "share dimensions")]
+    fn mismatched_dims_rejected() {
+        let a = Raster::new(2, 2, vec![0.0; 4]);
+        let b = Raster::new(4, 1, vec![0.0; 4]);
+        let _ = compare(&a, &b, 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensions disagree")]
+    fn bad_raster_construction_rejected() {
+        let _ = Raster::new(3, 3, vec![0.0; 8]);
+    }
+}

@@ -1,0 +1,179 @@
+//! The unit routing grid: the chip discretized at a fixed pitch.
+
+use irgrid_geom::{Point, Rect, Um};
+
+/// The chip area divided into `cols × rows` square cells of side `pitch`
+/// — the paper's evaluation grid (§3). The Irregular-Grid model also uses
+/// this as the *unit* grid underlying its probability formulas: IR-grids
+/// are unions of whole unit cells.
+///
+/// Cell `(i, j)` covers `[i·p, (i+1)·p) × [j·p, (j+1)·p)` with the chip's
+/// lower-left corner at the origin. The last column/row may extend past
+/// the chip edge when the chip dimensions are not pitch multiples.
+///
+/// # Examples
+///
+/// ```
+/// use irgrid_core::UnitGrid;
+/// use irgrid_geom::{Point, Rect, Um};
+///
+/// let chip = Rect::from_origin_size(Point::ORIGIN, Um(100), Um(70));
+/// let grid = UnitGrid::new(&chip, Um(30));
+/// assert_eq!(grid.cols(), 4);
+/// assert_eq!(grid.rows(), 3);
+/// assert_eq!(grid.cell_of(Point::new(Um(95), Um(69))), (3, 2));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UnitGrid {
+    pitch: Um,
+    cols: i64,
+    rows: i64,
+}
+
+impl UnitGrid {
+    /// Discretizes `chip` (which must have its lower-left corner at the
+    /// origin, as produced by the packer) at the given pitch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pitch is not positive, the chip is degenerate, or the
+    /// chip's lower-left corner is not the origin.
+    #[must_use]
+    pub fn new(chip: &Rect, pitch: Um) -> UnitGrid {
+        assert!(pitch > Um::ZERO, "grid pitch must be positive, got {pitch}");
+        assert!(
+            chip.ll() == Point::ORIGIN,
+            "chip must sit at the origin, got {chip}"
+        );
+        assert!(!chip.is_degenerate(), "chip must have positive area, got {chip}");
+        UnitGrid {
+            pitch,
+            cols: chip.width().div_ceil(pitch),
+            rows: chip.height().div_ceil(pitch),
+        }
+    }
+
+    /// Cell side length.
+    #[must_use]
+    pub fn pitch(&self) -> Um {
+        self.pitch
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub fn cols(&self) -> i64 {
+        self.cols
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn rows(&self) -> i64 {
+        self.rows
+    }
+
+    /// Total cell count.
+    #[must_use]
+    pub fn cell_count(&self) -> usize {
+        (self.cols * self.rows) as usize
+    }
+
+    /// The cell containing `p`, clamped into the grid (points on the top
+    /// or right chip boundary belong to the last cell).
+    #[must_use]
+    pub fn cell_of(&self, p: Point) -> (i64, i64) {
+        let cx = p.x.div_floor(self.pitch).clamp(0, self.cols - 1);
+        let cy = p.y.div_floor(self.pitch).clamp(0, self.rows - 1);
+        (cx, cy)
+    }
+
+    /// The rectangle of cell `(i, j)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell is out of range.
+    #[must_use]
+    pub fn cell_rect(&self, i: i64, j: i64) -> Rect {
+        assert!(
+            (0..self.cols).contains(&i) && (0..self.rows).contains(&j),
+            "cell ({i}, {j}) outside {}x{} grid",
+            self.cols,
+            self.rows
+        );
+        Rect::from_origin_size(
+            Point::new(self.pitch * i, self.pitch * j),
+            self.pitch,
+            self.pitch,
+        )
+    }
+
+    /// The extent actually covered by the grid (may exceed the chip by up
+    /// to one pitch in each axis).
+    #[must_use]
+    pub fn extent(&self) -> Rect {
+        Rect::from_origin_size(
+            Point::ORIGIN,
+            self.pitch * self.cols,
+            self.pitch * self.rows,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chip(w: i64, h: i64) -> Rect {
+        Rect::from_origin_size(Point::ORIGIN, Um(w), Um(h))
+    }
+
+    #[test]
+    fn dimensions_round_up() {
+        let g = UnitGrid::new(&chip(100, 70), Um(30));
+        assert_eq!((g.cols(), g.rows()), (4, 3));
+        assert_eq!(g.cell_count(), 12);
+        assert_eq!(g.extent(), chip(120, 90));
+    }
+
+    #[test]
+    fn exact_multiple_dimensions() {
+        let g = UnitGrid::new(&chip(90, 60), Um(30));
+        assert_eq!((g.cols(), g.rows()), (3, 2));
+        assert_eq!(g.extent(), chip(90, 60));
+    }
+
+    #[test]
+    fn cell_of_interior_and_boundaries() {
+        let g = UnitGrid::new(&chip(90, 90), Um(30));
+        assert_eq!(g.cell_of(Point::new(Um(0), Um(0))), (0, 0));
+        assert_eq!(g.cell_of(Point::new(Um(29), Um(30))), (0, 1));
+        // Top-right chip corner clamps into the last cell.
+        assert_eq!(g.cell_of(Point::new(Um(90), Um(90))), (2, 2));
+    }
+
+    #[test]
+    fn cell_rect_roundtrip() {
+        let g = UnitGrid::new(&chip(90, 90), Um(30));
+        let r = g.cell_rect(1, 2);
+        assert_eq!(r, Rect::from_origin_size(Point::new(Um(30), Um(60)), Um(30), Um(30)));
+        assert_eq!(g.cell_of(r.ll()), (1, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn cell_rect_rejects_out_of_range() {
+        let _ = UnitGrid::new(&chip(90, 90), Um(30)).cell_rect(3, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "pitch must be positive")]
+    fn rejects_zero_pitch() {
+        let _ = UnitGrid::new(&chip(90, 90), Um(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "origin")]
+    fn rejects_offset_chip() {
+        let off = Rect::from_origin_size(Point::new(Um(5), Um(0)), Um(90), Um(90));
+        let _ = UnitGrid::new(&off, Um(30));
+    }
+}

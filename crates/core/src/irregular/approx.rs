@@ -1,0 +1,407 @@
+//! Theorem 1: the constant-time normal approximation of Formula 3.
+//!
+//! §4.4 rewrites each exit term of Formula 3 as a hypergeometric-like
+//! function `h(x, r, R, Q)` and approximates it by a normal-like density;
+//! the exit sums become definite integrals evaluated with Simpson's rule
+//! in O(1), independent of the block size. §4.5 identifies the cells where
+//! the transformation degenerates (`(x + y₂)/(g₁ + g₂ − 3) ∈ {0, 1, >1}`,
+//! always adjacent to a pin); the algorithm never evaluates them — pin
+//! IR-grids are assigned probability 1 — and this module additionally
+//! guards every sample point so stray evaluations contribute 0.
+
+use crate::num::{normal_pdf, simpson};
+use crate::routing::{NetType, RoutingRange};
+
+/// Tuning of the Theorem 1 evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ApproxConfig {
+    /// Minimum Simpson sub-intervals per integral (rounded up to even).
+    /// The paper only requires a constant; the deviation is dominated by
+    /// the normal approximation itself from 2 intervals on (see the
+    /// ablation bench) because the integrator adaptively raises the count
+    /// (up to 24) when the clipped integration window is wide relative to
+    /// the exit distribution's effective width.
+    pub simpson_intervals: usize,
+    /// Integrate `[x₁ − ½, x₂ + ½]` instead of `[x₁, x₂]`, treating each
+    /// discrete term as a unit-width bar. Without it a one-cell-wide
+    /// block integrates over a zero-width interval and scores 0; the flag
+    /// exists for the ablation bench.
+    pub continuity_correction: bool,
+}
+
+impl Default for ApproxConfig {
+    fn default() -> ApproxConfig {
+        ApproxConfig {
+            simpson_intervals: 2,
+            continuity_correction: true,
+        }
+    }
+}
+
+/// The Theorem 1 approximation of the block-crossing probability for the
+/// block `[x1..=x2] × [y1..=y2]` in range-local coordinates.
+///
+/// Callers are expected to have handled pin blocks (probability 1) and
+/// corridors already, and to clip the block to the range — exactly what
+/// [`IrregularGridModel`](crate::IrregularGridModel) does. Type II ranges
+/// are evaluated by mirroring vertically onto type I, which is exact
+/// (the route ensembles are mirror images).
+///
+/// # Panics
+///
+/// Panics if the block is inverted or outside the range.
+#[must_use]
+pub fn block_probability_approx(
+    range: &RoutingRange,
+    x1: i64,
+    x2: i64,
+    y1: i64,
+    y2: i64,
+    config: &ApproxConfig,
+) -> f64 {
+    assert!(x1 <= x2 && y1 <= y2, "inverted block [{x1},{x2}]x[{y1},{y2}]");
+    assert!(
+        x1 >= 0 && y1 >= 0 && x2 < range.g1() && y2 < range.g2(),
+        "block [{x1},{x2}]x[{y1},{y2}] outside {}x{} range",
+        range.g1(),
+        range.g2()
+    );
+
+    let (g1, g2) = (range.g1(), range.g2());
+    // Mirror type II onto type I: y -> g2 - 1 - y.
+    let (y1, y2) = match range.net_type() {
+        NetType::TypeI => (y1, y2),
+        NetType::TypeII => (g2 - 1 - y2, g2 - 1 - y1),
+    };
+
+    let correction = if config.continuity_correction { 0.5 } else { 0.0 };
+    let mut p = 0.0;
+
+    // Exits upward through the top row: zero when the block touches the
+    // range's top boundary (no routes leave the range).
+    if y2 < g2 - 1 {
+        p += exit_integral(
+            g1,
+            g2,
+            y2,
+            x1 as f64 - correction,
+            x2 as f64 + correction,
+            config.simpson_intervals,
+        );
+    }
+    // Exits rightward through the right column: zero on the right
+    // boundary. The axes swap (Function (2) is Function (1) transposed).
+    if x2 < g1 - 1 {
+        p += exit_integral(
+            g2,
+            g1,
+            x2,
+            y1 as f64 - correction,
+            y2 as f64 + correction,
+            config.simpson_intervals,
+        );
+    }
+    p.clamp(0.0, 1.0)
+}
+
+/// Integrates the §4.4 exit integrand over `[a, b]`, localizing the
+/// integration to the integrand's support so wide blocks (e.g. a strip
+/// spanning the whole range) don't undersample the narrow peak.
+///
+/// The integrand `f(x) = c·φ(x; μ(x), σ(x))` with affine `μ` peaks at the
+/// stationary point `x* = (g1−1)·y2/(g2−2)` (where `x = μ(x)`) and decays
+/// with *effective* width `σ_eff = σ(x*)·(g1+g2−3)/(g2−2)` (the exponent
+/// sees `x − μ(x)`, which grows with slope `(g2−2)/(g1+g2−3)`). Clipping
+/// to ±8·σ_eff and scaling the Simpson interval count to the clipped
+/// width (capped at 24) keeps evaluation O(1) while resolving the peak.
+fn exit_integral(g1: i64, g2: i64, y2: i64, a: f64, b: f64, base_intervals: usize) -> f64 {
+    let (g1f, g2f) = (g1 as f64, g2 as f64);
+    let r = g1f + g2f - 3.0;
+    let denom_var = g1f + g2f - 4.0;
+    if r <= 0.0 || denom_var <= 0.0 {
+        return 0.0;
+    }
+    let y2f = y2 as f64;
+    // The integrand is zero outside 0 < q < 1, i.e. -y2 < x < r - y2.
+    let mut lo = a.max(-y2f);
+    let mut hi = b.min(r - y2f);
+    if lo >= hi {
+        return 0.0;
+    }
+    let mut sigma_eff = f64::INFINITY;
+    let denom_peak = g2f - 2.0;
+    if denom_peak > 0.0 {
+        let center = (g1f - 1.0) * y2f / denom_peak;
+        let q = (center + y2f) / r;
+        if q > 0.0 && q < 1.0 {
+            let var = (denom_peak / denom_var) * (g1f - 1.0) * q * (1.0 - q);
+            if var > 0.0 {
+                sigma_eff = var.sqrt() * r / denom_peak;
+                let w = 8.0 * sigma_eff + 1.0;
+                lo = lo.max(center - w);
+                hi = hi.min(center + w);
+                if lo >= hi {
+                    return 0.0;
+                }
+            }
+        }
+    }
+    let width = hi - lo;
+    // Enough intervals to sample the peak at ~2 points per σ_eff, capped
+    // to keep the evaluation constant-time.
+    let resolution = if sigma_eff.is_finite() {
+        (2.0 * width / sigma_eff).ceil() as usize
+    } else {
+        width.ceil() as usize
+    };
+    // The cap keeps evaluation O(1); an explicitly larger configured
+    // base still wins so callers can buy accuracy.
+    let intervals = resolution.clamp(2, 24).max(base_intervals);
+    simpson(lo, hi, intervals, |x| top_exit_integrand(g1, g2, y2, x))
+}
+
+/// The §4.4 integrand for top-row exits of a type I net: the
+/// normal-approximated `Function (1)` evaluated at continuous `x`.
+///
+/// Public (crate) so the Figure 8 bench can plot it pointwise against the
+/// exact term.
+pub(crate) fn top_exit_integrand(g1: i64, g2: i64, y2: i64, x: f64) -> f64 {
+    let (g1f, g2f) = (g1 as f64, g2 as f64);
+    let denom_q = g1f + g2f - 3.0;
+    let denom_var = g1f + g2f - 4.0;
+    if denom_q <= 0.0 || denom_var <= 0.0 {
+        return 0.0;
+    }
+    let q = (x + y2 as f64) / denom_q;
+    if q <= 0.0 || q >= 1.0 {
+        // §4.5 degenerate cases: these sample points sit next to a pin,
+        // whose IR-grid is scored 1 elsewhere.
+        return 0.0;
+    }
+    let mu = (g1f - 1.0) * q;
+    let var = ((g2f - 2.0) / denom_var) * (g1f - 1.0) * q * (1.0 - q);
+    if var <= 0.0 {
+        return 0.0;
+    }
+    let coefficient = (g2f - 1.0) / (g1f + g2f - 2.0);
+    coefficient * normal_pdf(x, mu, var.sqrt())
+}
+
+/// The exact value of the paper's `Function (1)` at integer `x`:
+/// `Ta(x, y₂) · Tb(x, y₂ + 1) / total` for a type I range. Used by the
+/// Figure 8 reproduction to plot exact-vs-approximate curves.
+///
+/// # Panics
+///
+/// Panics if the range is not type I.
+#[must_use]
+pub fn function1_exact(
+    range: &RoutingRange,
+    lf: &crate::num::LnFactorials,
+    x: i64,
+    y2: i64,
+) -> f64 {
+    assert_eq!(
+        range.net_type(),
+        NetType::TypeI,
+        "Function (1) is defined for type I ranges"
+    );
+    let t = range.ln_ta(lf, x, y2) + range.ln_tb(lf, x, y2 + 1) - range.ln_total_routes(lf);
+    t.exp()
+}
+
+/// The Theorem 1 approximation of `Function (1)` at (continuous) `x` —
+/// the curve the paper plots in figure 8(b)/(d).
+#[must_use]
+pub fn function1_approx(range: &RoutingRange, x: f64, y2: i64) -> f64 {
+    assert_eq!(
+        range.net_type(),
+        NetType::TypeI,
+        "Function (1) is defined for type I ranges"
+    );
+    top_exit_integrand(range.g1(), range.g2(), y2, x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::irregular::exact::block_probability_exact;
+    use crate::num::LnFactorials;
+
+    #[test]
+    fn paper_figure8_pointwise_accuracy() {
+        // §4.5: a type I net divided into 31x21 grids; Function (1) for
+        // x = 10..=20 at y2 = 15 — "the approximation is extremely
+        // accurate" and "the deviation of approximation is generally less
+        // than 0.05".
+        let lf = LnFactorials::up_to(128);
+        let range = RoutingRange::from_cells(0, 0, 31, 21, NetType::TypeI);
+        for x in 10..=20 {
+            let exact = function1_exact(&range, &lf, x, 15);
+            let approx = function1_approx(&range, x as f64, 15);
+            assert!(
+                (exact - approx).abs() < 0.05,
+                "x = {x}: exact {exact} vs approx {approx}"
+            );
+        }
+    }
+
+    #[test]
+    fn error_cell_guarded() {
+        // Figure 8(c)/(d): at grid (30, 19) the transformation degenerates
+        // ((x + y2)/(g1 + g2 - 3) >= 1); the guarded integrand returns 0
+        // instead of a bogus value.
+        let range = RoutingRange::from_cells(0, 0, 31, 21, NetType::TypeI);
+        assert_eq!(function1_approx(&range, 30.0, 19.0 as i64), 0.0);
+        // And the (0,0) degenerate end.
+        assert_eq!(function1_approx(&range, 0.0, 0), 0.0);
+    }
+
+    #[test]
+    fn block_approx_close_to_exact_interior() {
+        let lf = LnFactorials::up_to(256);
+        let config = ApproxConfig::default();
+        let range = RoutingRange::from_cells(0, 0, 31, 21, NetType::TypeI);
+        // Interior blocks away from the pins.
+        for &(x1, x2, y1, y2) in &[
+            (10i64, 20i64, 12i64, 15i64),
+            (5, 8, 5, 9),
+            (22, 28, 3, 10),
+            (3, 27, 2, 18),
+            (15, 15, 10, 10),
+        ] {
+            let exact = block_probability_exact(&range, &lf, x1, x2, y1, y2);
+            let approx = block_probability_approx(&range, x1, x2, y1, y2, &config);
+            assert!(
+                (exact - approx).abs() < 0.05,
+                "block [{x1},{x2}]x[{y1},{y2}]: exact {exact} vs approx {approx}"
+            );
+        }
+    }
+
+    #[test]
+    fn type_ii_mirror_matches_exact() {
+        let lf = LnFactorials::up_to(256);
+        let config = ApproxConfig::default();
+        let range = RoutingRange::from_cells(0, 0, 25, 19, NetType::TypeII);
+        for &(x1, x2, y1, y2) in &[(8i64, 14i64, 6i64, 10i64), (4, 9, 3, 15), (16, 22, 2, 8)] {
+            let exact = block_probability_exact(&range, &lf, x1, x2, y1, y2);
+            let approx = block_probability_approx(&range, x1, x2, y1, y2, &config);
+            assert!(
+                (exact - approx).abs() < 0.05,
+                "block [{x1},{x2}]x[{y1},{y2}]: exact {exact} vs approx {approx}"
+            );
+        }
+    }
+
+    #[test]
+    fn boundary_blocks_drop_vanishing_term() {
+        let lf = LnFactorials::up_to(256);
+        let config = ApproxConfig::default();
+        let range = RoutingRange::from_cells(0, 0, 20, 16, NetType::TypeI);
+        // Block touching the top boundary: only right exits remain.
+        let exact = block_probability_exact(&range, &lf, 4, 9, 12, 15);
+        let approx = block_probability_approx(&range, 4, 9, 12, 15, &config);
+        assert!(
+            (exact - approx).abs() < 0.05,
+            "top-boundary block: exact {exact} vs approx {approx}"
+        );
+        // Block touching the right boundary: only top exits remain.
+        let exact = block_probability_exact(&range, &lf, 15, 19, 4, 9);
+        let approx = block_probability_approx(&range, 15, 19, 4, 9, &config);
+        assert!(
+            (exact - approx).abs() < 0.05,
+            "right-boundary block: exact {exact} vs approx {approx}"
+        );
+    }
+
+    #[test]
+    fn full_strip_blocks_are_certain() {
+        // A vertical strip spanning the range's full height is crossed by
+        // every route: exact probability 1. The localized integration
+        // must not undersample the narrow exit-distribution peak.
+        let lf = LnFactorials::up_to(256);
+        let config = ApproxConfig::default();
+        for (g1, g2) in [(20i64, 16i64), (40, 8), (8, 40), (31, 21)] {
+            let range = RoutingRange::from_cells(0, 0, g1, g2, NetType::TypeI);
+            for x in [1, g1 / 2, g1 - 3] {
+                let exact = block_probability_exact(&range, &lf, x, x, 0, g2 - 1);
+                let approx = block_probability_approx(&range, x, x, 0, g2 - 1, &config);
+                assert!((exact - 1.0).abs() < 1e-9, "{g1}x{g2} strip x={x}: exact {exact}");
+                assert!(
+                    (approx - 1.0).abs() < 0.05,
+                    "{g1}x{g2} strip x={x}: approx {approx}"
+                );
+            }
+            // Horizontal strip spanning the full width.
+            for y in [1, g2 / 2, g2 - 3] {
+                let approx = block_probability_approx(&range, 0, g1 - 1, y, y, &config);
+                assert!(
+                    (approx - 1.0).abs() < 0.05,
+                    "{g1}x{g2} row strip y={y}: approx {approx}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn probability_clamped_to_unit_interval() {
+        let config = ApproxConfig::default();
+        let range = RoutingRange::from_cells(0, 0, 31, 21, NetType::TypeI);
+        for x1 in (0..30).step_by(7) {
+            for y1 in (0..20).step_by(5) {
+                let p = block_probability_approx(
+                    &range,
+                    x1,
+                    (x1 + 6).min(30),
+                    y1,
+                    (y1 + 4).min(20),
+                    &config,
+                );
+                assert!((0.0..=1.0).contains(&p), "p = {p} at ({x1},{y1})");
+            }
+        }
+    }
+
+    #[test]
+    fn without_continuity_correction_single_cell_vanishes() {
+        let config = ApproxConfig {
+            continuity_correction: false,
+            ..ApproxConfig::default()
+        };
+        let range = RoutingRange::from_cells(0, 0, 31, 21, NetType::TypeI);
+        // Degenerate integration interval: the known weakness the flag
+        // documents (and the ablation bench quantifies).
+        assert_eq!(block_probability_approx(&range, 15, 15, 10, 10, &config), 0.0);
+    }
+
+    #[test]
+    fn more_simpson_intervals_do_not_hurt() {
+        let lf = LnFactorials::up_to(256);
+        let range = RoutingRange::from_cells(0, 0, 31, 21, NetType::TypeI);
+        let exact = block_probability_exact(&range, &lf, 8, 18, 5, 12);
+        let coarse = block_probability_approx(
+            &range,
+            8,
+            18,
+            5,
+            12,
+            &ApproxConfig {
+                simpson_intervals: 2,
+                continuity_correction: true,
+            },
+        );
+        let fine = block_probability_approx(
+            &range,
+            8,
+            18,
+            5,
+            12,
+            &ApproxConfig {
+                simpson_intervals: 32,
+                continuity_correction: true,
+            },
+        );
+        assert!((fine - exact).abs() <= (coarse - exact).abs() + 1e-6);
+    }
+}

@@ -1,0 +1,284 @@
+//! Formula 3: exact block-crossing probabilities.
+//!
+//! The probability that a net's route passes through an IR-grid is the
+//! number of monotone routes visiting at least one of the block's cells,
+//! divided by the total route count. Because routes are monotone, each
+//! crossing route leaves the block exactly once — through the block's top
+//! edge or right edge for a type I net (bottom/right for type II) — so the
+//! crossing count is a sum over the exit cells only (the paper's gray
+//! cells in figure 6).
+//!
+//! Note on the paper's worked example: figure 6 quotes 245/252 for the
+//! block `{2 ≤ x ≤ 4, 2 ≤ y ≤ 5}` of a 6×6 range, but both this formula
+//! and exhaustive path counting give **246**/252 (the example's term list
+//! omits one exit term); the tests below pin the brute-force value.
+
+use crate::num::LnFactorials;
+use crate::routing::{NetType, RoutingRange};
+
+/// The exact Formula 3 probability that the net crosses the block
+/// `[x1..=x2] × [y1..=y2]` in range-local cell coordinates.
+///
+/// The block is clipped to the range; blocks containing a pin cell return
+/// exactly 1 (Algorithm step 3.1). The result is clamped to `[0, 1]`
+/// against floating-point drift.
+///
+/// # Panics
+///
+/// Panics if the block is inverted (`x1 > x2` or `y1 > y2`) or entirely
+/// outside the range.
+#[must_use]
+pub fn block_probability_exact(
+    range: &RoutingRange,
+    lf: &LnFactorials,
+    x1: i64,
+    x2: i64,
+    y1: i64,
+    y2: i64,
+) -> f64 {
+    assert!(x1 <= x2 && y1 <= y2, "inverted block [{x1},{x2}]x[{y1},{y2}]");
+    let x1 = x1.max(0);
+    let y1 = y1.max(0);
+    let x2 = x2.min(range.g1() - 1);
+    let y2 = y2.min(range.g2() - 1);
+    assert!(
+        x1 <= x2 && y1 <= y2,
+        "block lies outside the {}x{} range",
+        range.g1(),
+        range.g2()
+    );
+
+    // Pin blocks are certain (step 3.1).
+    if range
+        .pin_cells()
+        .iter()
+        .any(|&(px, py)| (x1..=x2).contains(&px) && (y1..=y2).contains(&py))
+    {
+        return 1.0;
+    }
+    // Single-row/column corridors: every route crosses every cell.
+    if range.g1() == 1 || range.g2() == 1 {
+        return 1.0;
+    }
+
+    let ln_total = range.ln_total_routes(lf);
+    let mut p = 0.0;
+    match range.net_type() {
+        NetType::TypeI => {
+            // Exits upward from the top row.
+            for x in x1..=x2 {
+                let t = range.ln_ta(lf, x, y2) + range.ln_tb(lf, x, y2 + 1) - ln_total;
+                p += t.exp();
+            }
+            // Exits rightward from the right column.
+            for y in y1..=y2 {
+                let t = range.ln_ta(lf, x2, y) + range.ln_tb(lf, x2 + 1, y) - ln_total;
+                p += t.exp();
+            }
+        }
+        NetType::TypeII => {
+            // Exits downward from the bottom row.
+            for x in x1..=x2 {
+                let t = range.ln_ta(lf, x, y1) + range.ln_tb(lf, x, y1 - 1) - ln_total;
+                p += t.exp();
+            }
+            // Exits rightward from the right column.
+            for y in y1..=y2 {
+                let t = range.ln_ta(lf, x2, y) + range.ln_tb(lf, x2 + 1, y) - ln_total;
+                p += t.exp();
+            }
+        }
+    }
+    p.clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Brute-force oracle: routes crossing the block = total routes −
+    /// routes avoiding every block cell, counted by dynamic programming in
+    /// exact `u128` arithmetic.
+    fn brute_force(range: &RoutingRange, x1: i64, x2: i64, y1: i64, y2: i64) -> f64 {
+        let (g1, g2) = (range.g1(), range.g2());
+        let blocked = |x: i64, y: i64| (x1..=x2).contains(&x) && (y1..=y2).contains(&y);
+        // Walk from the first pin; direction depends on type.
+        let (start, _end, dy): ((i64, i64), (i64, i64), i64) = match range.net_type() {
+            NetType::TypeI => ((0, 0), (g1 - 1, g2 - 1), 1),
+            NetType::TypeII => ((0, g2 - 1), (g1 - 1, 0), -1),
+        };
+        let idx = |x: i64, y: i64| (y * g1 + x) as usize;
+        let mut avoid = vec![0u128; (g1 * g2) as usize];
+        let mut total = vec![0u128; (g1 * g2) as usize];
+        total[idx(start.0, start.1)] = 1;
+        if !blocked(start.0, start.1) {
+            avoid[idx(start.0, start.1)] = 1;
+        }
+        // Process cells in route order.
+        let ys: Vec<i64> = if dy == 1 {
+            (0..g2).collect()
+        } else {
+            (0..g2).rev().collect()
+        };
+        for &y in &ys {
+            for x in 0..g1 {
+                if (x, y) == start {
+                    continue;
+                }
+                let from_left = if x > 0 {
+                    (total[idx(x - 1, y)], avoid[idx(x - 1, y)])
+                } else {
+                    (0, 0)
+                };
+                let prev_y = y - dy;
+                let from_below = if (0..g2).contains(&prev_y) {
+                    (total[idx(x, prev_y)], avoid[idx(x, prev_y)])
+                } else {
+                    (0, 0)
+                };
+                total[idx(x, y)] = from_left.0 + from_below.0;
+                avoid[idx(x, y)] = if blocked(x, y) {
+                    0
+                } else {
+                    from_left.1 + from_below.1
+                };
+            }
+        }
+        let end = match range.net_type() {
+            NetType::TypeI => (g1 - 1, g2 - 1),
+            NetType::TypeII => (g1 - 1, 0),
+        };
+        let t = total[idx(end.0, end.1)];
+        let a = avoid[idx(end.0, end.1)];
+        (t - a) as f64 / t as f64
+    }
+
+    #[test]
+    fn paper_figure6_example_corrected() {
+        // 6x6 range, type I, block {2..4} x {2..5}: the paper quotes
+        // 245/252 but its own formula (and exhaustive counting) gives
+        // 246/252.
+        let lf = LnFactorials::up_to(64);
+        let range = RoutingRange::from_cells(0, 0, 6, 6, NetType::TypeI);
+        let exact = block_probability_exact(&range, &lf, 2, 4, 2, 5);
+        let brute = brute_force(&range, 2, 4, 2, 5);
+        assert!((exact - 246.0 / 252.0).abs() < 1e-10, "exact = {exact}");
+        assert!((exact - brute).abs() < 1e-10);
+    }
+
+    #[test]
+    fn matches_brute_force_type_i() {
+        let lf = LnFactorials::up_to(128);
+        let range = RoutingRange::from_cells(0, 0, 9, 7, NetType::TypeI);
+        for x1 in 0..9 {
+            for x2 in x1..9 {
+                for y1 in 0..7 {
+                    for y2 in y1..7 {
+                        let exact = block_probability_exact(&range, &lf, x1, x2, y1, y2);
+                        let brute = brute_force(&range, x1, x2, y1, y2);
+                        assert!(
+                            (exact - brute).abs() < 1e-9,
+                            "block [{x1},{x2}]x[{y1},{y2}]: {exact} vs {brute}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn matches_brute_force_type_ii() {
+        let lf = LnFactorials::up_to(128);
+        let range = RoutingRange::from_cells(0, 0, 8, 6, NetType::TypeII);
+        for x1 in 0..8 {
+            for x2 in x1..8 {
+                for y1 in 0..6 {
+                    for y2 in y1..6 {
+                        let exact = block_probability_exact(&range, &lf, x1, x2, y1, y2);
+                        let brute = brute_force(&range, x1, x2, y1, y2);
+                        assert!(
+                            (exact - brute).abs() < 1e-9,
+                            "block [{x1},{x2}]x[{y1},{y2}]: {exact} vs {brute}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn full_range_is_certain() {
+        let lf = LnFactorials::up_to(64);
+        for net_type in [NetType::TypeI, NetType::TypeII] {
+            let range = RoutingRange::from_cells(0, 0, 7, 5, net_type);
+            assert_eq!(block_probability_exact(&range, &lf, 0, 6, 0, 4), 1.0);
+        }
+    }
+
+    #[test]
+    fn pin_blocks_are_certain() {
+        let lf = LnFactorials::up_to(64);
+        let range = RoutingRange::from_cells(0, 0, 7, 5, NetType::TypeI);
+        assert_eq!(block_probability_exact(&range, &lf, 0, 0, 0, 0), 1.0);
+        assert_eq!(block_probability_exact(&range, &lf, 6, 6, 4, 4), 1.0);
+        // Type II pins.
+        let range2 = RoutingRange::from_cells(0, 0, 7, 5, NetType::TypeII);
+        assert_eq!(block_probability_exact(&range2, &lf, 0, 0, 4, 4), 1.0);
+        assert_eq!(block_probability_exact(&range2, &lf, 6, 6, 0, 0), 1.0);
+    }
+
+    #[test]
+    fn monotone_in_block_size() {
+        let lf = LnFactorials::up_to(128);
+        let range = RoutingRange::from_cells(0, 0, 10, 8, NetType::TypeI);
+        let small = block_probability_exact(&range, &lf, 3, 4, 3, 4);
+        let bigger = block_probability_exact(&range, &lf, 3, 5, 3, 5);
+        let biggest = block_probability_exact(&range, &lf, 2, 6, 2, 6);
+        assert!(small <= bigger && bigger <= biggest);
+        assert!(small > 0.0 && biggest <= 1.0);
+    }
+
+    #[test]
+    fn corridor_blocks_certain() {
+        let lf = LnFactorials::up_to(64);
+        let row = RoutingRange::from_cells(0, 0, 9, 1, NetType::TypeI);
+        assert_eq!(block_probability_exact(&row, &lf, 3, 5, 0, 0), 1.0);
+    }
+
+    #[test]
+    fn clips_blocks_to_range() {
+        let lf = LnFactorials::up_to(64);
+        let range = RoutingRange::from_cells(0, 0, 6, 6, NetType::TypeI);
+        let clipped = block_probability_exact(&range, &lf, 2, 40, 2, 40);
+        let manual = block_probability_exact(&range, &lf, 2, 5, 2, 5);
+        assert_eq!(clipped, manual);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn rejects_disjoint_block() {
+        let lf = LnFactorials::up_to(64);
+        let range = RoutingRange::from_cells(0, 0, 6, 6, NetType::TypeI);
+        let _ = block_probability_exact(&range, &lf, 9, 12, 0, 3);
+    }
+
+    #[test]
+    fn single_cell_blocks_match_formula2() {
+        // A 1x1 block's crossing probability is Formula 2's cell
+        // probability.
+        let lf = LnFactorials::up_to(64);
+        for net_type in [NetType::TypeI, NetType::TypeII] {
+            let range = RoutingRange::from_cells(0, 0, 8, 6, net_type);
+            for x in 0..8 {
+                for y in 0..6 {
+                    let block = block_probability_exact(&range, &lf, x, x, y, y);
+                    let cell = range.cell_probability(&lf, x, y);
+                    assert!(
+                        (block - cell).abs() < 1e-9,
+                        "{net_type:?} ({x},{y}): {block} vs {cell}"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! Probabilistic congestion models for floorplanning — a reproduction of
+//! *“A New Effective Congestion Model in Floorplan Design”* (Hsieh &
+//! Hsieh, DATE 2004).
+//!
+//! Two models estimate where routing will congest a floorplan, both based
+//! on counting the shortest monotone Manhattan routes of each 2-pin net:
+//!
+//! * [`FixedGridModel`] — the prior art (§3, after Lou et al. and
+//!   Sham & Young): a uniform evaluation grid; one probability per grid
+//!   cell per net. With a 10 µm pitch it doubles as the paper's
+//!   **judging model**.
+//! * [`IrregularGridModel`] — the paper's contribution (§4): the chip is
+//!   partitioned by the cutting lines induced by the nets' routing
+//!   ranges; each *IR-grid* is scored with one constant-time evaluation
+//!   (Theorem 1 normal approximation, Simpson-integrated), concentrating
+//!   effort where routing ranges overlap.
+//!
+//! # Examples
+//!
+//! Scoring a floorplan's 2-pin segments with both models:
+//!
+//! ```
+//! use irgrid_core::{CongestionModel, FixedGridModel, IrregularGridModel};
+//! use irgrid_geom::{Point, Rect, Um};
+//!
+//! let chip = Rect::from_origin_size(Point::ORIGIN, Um(600), Um(600));
+//! let segments = vec![
+//!     (Point::new(Um(30), Um(30)), Point::new(Um(540), Um(540))),
+//!     (Point::new(Um(30), Um(540)), Point::new(Um(540), Um(30))),
+//! ];
+//! let fixed = FixedGridModel::new(Um(30)).evaluate(&chip, &segments);
+//! let irregular = IrregularGridModel::new(Um(30)).evaluate(&chip, &segments);
+//! assert!(fixed > 0.0 && irregular > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod theory;
+
+mod fixed;
+mod grid;
+pub mod irregular;
+mod lz;
+pub mod num;
+mod routing;
+pub mod score;
+
+pub use fixed::{CellArithmetic, FixedCongestionMap, FixedGridModel};
+pub use grid::UnitGrid;
+pub use irregular::{ApproxConfig, Evaluator, IrCongestionMap, IrregularGridModel};
+pub use lz::{LzCongestionMap, LzShapeModel};
+pub use routing::{NetType, RoutingRange};
+
+use irgrid_geom::{Point, Rect};
+
+/// A congestion estimator usable as a floorplanner cost term.
+///
+/// Implemented by both [`FixedGridModel`] and [`IrregularGridModel`];
+/// the floorplanner (see the `irgrid` facade crate) is generic over it,
+/// which is how the paper's Experiments 1–3 swap models.
+pub trait CongestionModel {
+    /// Scores a floorplan: `chip` is the packed bounding box (lower-left
+    /// at the origin), `segments` the MST-decomposed 2-pin nets. Higher
+    /// is more congested.
+    fn evaluate(&self, chip: &Rect, segments: &[(Point, Point)]) -> f64;
+
+    /// A human-readable model name for reports.
+    fn name(&self) -> String;
+}

@@ -1,0 +1,271 @@
+//! Binomial coefficients, exact and in log space.
+
+/// Exact binomial coefficient in `u128`.
+///
+/// Used as the test oracle for the log-space implementations; route counts
+/// in production code use [`LnFactorials`] instead because realistic
+/// routing ranges overflow even `u128` (C(250, 125) ≈ 10⁷⁴).
+///
+/// Returns 0 for `k > n`, matching the route-count convention that
+/// positions outside a routing range have no routes.
+///
+/// # Panics
+///
+/// Panics on internal overflow — callers must keep `n` small enough
+/// (`C(128, 64)` overflows; the tests stay below `n = 100`).
+///
+/// # Examples
+///
+/// ```
+/// use irgrid_core::num::binomial_u128;
+///
+/// assert_eq!(binomial_u128(12, 6), 924);
+/// assert_eq!(binomial_u128(5, 9), 0);
+/// ```
+#[must_use]
+pub fn binomial_u128(n: u64, k: u64) -> u128 {
+    if k > n {
+        return 0;
+    }
+    let k = k.min(n - k);
+    let mut result: u128 = 1;
+    for i in 0..k {
+        result = result
+            .checked_mul(u128::from(n - i))
+            .expect("binomial overflow: use ln_binomial for large arguments");
+        result /= u128::from(i + 1);
+    }
+    result
+}
+
+/// Natural log of the gamma function, via the Lanczos approximation
+/// (g = 7, n = 9), accurate to ~15 significant digits for positive
+/// arguments.
+///
+/// # Panics
+///
+/// Panics if `x <= 0` (the congestion models only evaluate positive
+/// arguments).
+///
+/// # Examples
+///
+/// ```
+/// use irgrid_core::num::ln_gamma;
+///
+/// // Γ(5) = 24.
+/// assert!((ln_gamma(5.0) - 24f64.ln()).abs() < 1e-12);
+/// ```
+#[must_use]
+pub fn ln_gamma(x: f64) -> f64 {
+    assert!(x > 0.0, "ln_gamma requires a positive argument, got {x}");
+    // Lanczos coefficients for g = 7.
+    const COEFFS: [f64; 9] = [
+        0.999_999_999_999_809_93,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_13,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_571_6e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula keeps accuracy near zero.
+        let pi = std::f64::consts::PI;
+        return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut acc = COEFFS[0];
+    for (i, &c) in COEFFS.iter().enumerate().skip(1) {
+        acc += c / (x + i as f64);
+    }
+    let t = x + 7.5;
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + acc.ln()
+}
+
+/// `ln C(n, k)`; `-inf` when `k > n` (zero routes).
+///
+/// # Examples
+///
+/// ```
+/// use irgrid_core::num::ln_binomial;
+///
+/// assert!((ln_binomial(12, 6) - 924f64.ln()).abs() < 1e-10);
+/// assert_eq!(ln_binomial(3, 5), f64::NEG_INFINITY);
+/// ```
+#[must_use]
+pub fn ln_binomial(n: u64, k: u64) -> f64 {
+    if k > n {
+        return f64::NEG_INFINITY;
+    }
+    ln_gamma(n as f64 + 1.0) - ln_gamma(k as f64 + 1.0) - ln_gamma((n - k) as f64 + 1.0)
+}
+
+/// `C(n, k)` as `f64` (may be `inf` for huge arguments; used where the
+/// result is immediately normalized).
+#[must_use]
+pub fn binomial_f64(n: u64, k: u64) -> f64 {
+    ln_binomial(n, k).exp()
+}
+
+/// A cached table of `ln(i!)` for `0 <= i <= n`, the workhorse behind every
+/// per-cell probability: `ln C(n, k) = lf[n] - lf[k] - lf[n-k]` becomes
+/// three array reads.
+///
+/// # Examples
+///
+/// ```
+/// use irgrid_core::num::LnFactorials;
+///
+/// let lf = LnFactorials::up_to(20);
+/// assert!((lf.ln_binomial(12, 6) - 924f64.ln()).abs() < 1e-10);
+/// ```
+#[derive(Debug, Clone)]
+pub struct LnFactorials {
+    table: Vec<f64>,
+}
+
+impl LnFactorials {
+    /// Builds the table for arguments up to `n` inclusive.
+    #[must_use]
+    pub fn up_to(n: usize) -> LnFactorials {
+        let mut table = Vec::with_capacity(n + 1);
+        table.push(0.0); // ln 0! = 0
+        let mut acc = 0.0;
+        for i in 1..=n {
+            acc += (i as f64).ln();
+            table.push(acc);
+        }
+        LnFactorials { table }
+    }
+
+    /// Largest supported argument.
+    #[must_use]
+    pub fn max_n(&self) -> usize {
+        self.table.len() - 1
+    }
+
+    /// `ln(n!)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` exceeds the table size.
+    #[must_use]
+    pub fn ln_factorial(&self, n: usize) -> f64 {
+        self.table[n]
+    }
+
+    /// `ln C(n, k)`; `-inf` when `k > n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` exceeds the table size.
+    #[must_use]
+    pub fn ln_binomial(&self, n: usize, k: usize) -> f64 {
+        if k > n {
+            return f64::NEG_INFINITY;
+        }
+        self.table[n] - self.table[k] - self.table[n - k]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_small_values() {
+        assert_eq!(binomial_u128(0, 0), 1);
+        assert_eq!(binomial_u128(1, 0), 1);
+        assert_eq!(binomial_u128(1, 1), 1);
+        assert_eq!(binomial_u128(6, 3), 20);
+        assert_eq!(binomial_u128(10, 4), 210);
+        assert_eq!(binomial_u128(52, 5), 2_598_960);
+        assert_eq!(binomial_u128(4, 7), 0);
+    }
+
+    #[test]
+    fn pascal_identity_exact() {
+        for n in 1..60u64 {
+            for k in 1..n {
+                assert_eq!(
+                    binomial_u128(n, k),
+                    binomial_u128(n - 1, k - 1) + binomial_u128(n - 1, k),
+                    "C({n},{k})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ln_gamma_matches_factorials() {
+        let mut fact = 1.0f64;
+        for n in 1..30 {
+            fact *= n as f64;
+            assert!(
+                (ln_gamma(n as f64 + 1.0) - fact.ln()).abs() < 1e-9,
+                "n = {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn ln_gamma_reflection_region() {
+        // Γ(0.5) = sqrt(pi).
+        let expected = std::f64::consts::PI.sqrt().ln();
+        assert!((ln_gamma(0.5) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive argument")]
+    fn ln_gamma_rejects_nonpositive() {
+        let _ = ln_gamma(0.0);
+    }
+
+    #[test]
+    fn ln_binomial_matches_exact() {
+        for n in 0..90u64 {
+            for k in 0..=n {
+                let exact = binomial_u128(n, k) as f64;
+                let approx = binomial_f64(n, k);
+                assert!(
+                    (approx - exact).abs() / exact < 1e-10,
+                    "C({n},{k}): {approx} vs {exact}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn table_matches_ln_gamma() {
+        let lf = LnFactorials::up_to(500);
+        assert_eq!(lf.max_n(), 500);
+        for n in [0usize, 1, 2, 10, 100, 500] {
+            assert!(
+                (lf.ln_factorial(n) - ln_gamma(n as f64 + 1.0)).abs() < 1e-8,
+                "n = {n}"
+            );
+        }
+        for (n, k) in [(500usize, 250usize), (300, 7), (42, 42), (10, 0)] {
+            assert!(
+                (lf.ln_binomial(n, k) - ln_binomial(n as u64, k as u64)).abs() < 1e-8,
+                "C({n},{k})"
+            );
+        }
+        assert_eq!(lf.ln_binomial(3, 9), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn symmetry() {
+        let lf = LnFactorials::up_to(100);
+        for n in 0..=100usize {
+            for k in 0..=n {
+                // Equal up to the float rounding of the two subtraction
+                // orders.
+                let d = (lf.ln_binomial(n, k) - lf.ln_binomial(n, n - k)).abs();
+                assert!(d < 1e-12, "C({n},{k}) asymmetry {d}");
+            }
+        }
+    }
+}

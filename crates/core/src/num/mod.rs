@@ -1,0 +1,21 @@
+//! Numeric substrate for the congestion models.
+//!
+//! The probabilistic models need three ingredients:
+//!
+//! * **binomial coefficients** — route counts `Ta`/`Tb` are binomials
+//!   (Formula 1). Counts overflow `u64` beyond ~60×60-cell ranges, so all
+//!   production code works with *log* binomials built on a cached
+//!   log-factorial table; an exact `u128` binomial is kept as the oracle
+//!   for tests;
+//! * **the normal density** — the Theorem 1 approximation replaces the
+//!   hypergeometric-like `h(x, r, R, Q)` with a normal-like function;
+//! * **Simpson's rule** — the paper evaluates Theorem 1's definite
+//!   integrals "by Simpson's rule of integration in constant time".
+
+mod binomial;
+mod normal;
+mod simpson;
+
+pub use binomial::{binomial_f64, binomial_u128, ln_binomial, ln_gamma, LnFactorials};
+pub use normal::normal_pdf;
+pub use simpson::simpson;

@@ -1,0 +1,58 @@
+//! The normal probability density.
+
+/// The normal density `φ(x; μ, σ)`.
+///
+/// Returns 0 when `sigma` is not finite and positive — in the Theorem 1
+/// integrand a collapsed variance marks a point adjacent to a pin, whose
+/// IR-grid is scored as probability 1 elsewhere (Algorithm step 3.1), so
+/// contributing nothing here is the correct behaviour.
+///
+/// # Examples
+///
+/// ```
+/// use irgrid_core::num::normal_pdf;
+///
+/// let peak = normal_pdf(0.0, 0.0, 1.0);
+/// assert!((peak - 0.398_942_280_401).abs() < 1e-9);
+/// assert_eq!(normal_pdf(0.0, 0.0, 0.0), 0.0);
+/// ```
+#[must_use]
+pub fn normal_pdf(x: f64, mu: f64, sigma: f64) -> f64 {
+    if !(sigma.is_finite() && sigma > 0.0) {
+        return 0.0;
+    }
+    let z = (x - mu) / sigma;
+    (-0.5 * z * z).exp() / (sigma * (2.0 * std::f64::consts::PI).sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::num::simpson;
+
+    #[test]
+    fn integrates_to_one() {
+        let mass = simpson(-8.0, 8.0, 512, |x| normal_pdf(x, 0.0, 1.0));
+        assert!((mass - 1.0).abs() < 1e-10, "mass {mass}");
+    }
+
+    #[test]
+    fn symmetric_about_mean() {
+        for d in [0.1, 0.5, 1.7] {
+            assert!((normal_pdf(3.0 + d, 3.0, 2.0) - normal_pdf(3.0 - d, 3.0, 2.0)).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn scales_with_sigma() {
+        // Peak height is 1/(sigma*sqrt(2*pi)).
+        assert!(normal_pdf(0.0, 0.0, 0.5) > normal_pdf(0.0, 0.0, 1.0));
+    }
+
+    #[test]
+    fn degenerate_sigma_is_zero() {
+        assert_eq!(normal_pdf(1.0, 1.0, 0.0), 0.0);
+        assert_eq!(normal_pdf(1.0, 1.0, -2.0), 0.0);
+        assert_eq!(normal_pdf(1.0, 1.0, f64::NAN), 0.0);
+    }
+}

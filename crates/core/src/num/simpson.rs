@@ -1,0 +1,92 @@
+//! Composite Simpson integration.
+
+/// Integrates `f` over `[a, b]` with composite Simpson's rule on
+/// `intervals` sub-intervals (rounded up to even).
+///
+/// The paper evaluates the Theorem 1 integrals "by Simpson's rule of
+/// integration in constant time": the interval count is a fixed small
+/// constant independent of the routing-range size, keeping the per-IR-grid
+/// cost O(1).
+///
+/// Degenerate input (`a == b`) integrates to 0; `a > b` gives the signed
+/// (negative) integral, matching the usual convention.
+///
+/// # Panics
+///
+/// Panics if `intervals` is zero.
+///
+/// # Examples
+///
+/// ```
+/// use irgrid_core::num::simpson;
+///
+/// let cube = simpson(0.0, 2.0, 8, |x| x * x * x);
+/// // Simpson is exact for cubics.
+/// assert!((cube - 4.0).abs() < 1e-12);
+/// ```
+#[must_use]
+pub fn simpson(a: f64, b: f64, intervals: usize, f: impl Fn(f64) -> f64) -> f64 {
+    assert!(intervals > 0, "need at least one interval");
+    let n = intervals + intervals % 2; // force even
+    if a == b {
+        return 0.0;
+    }
+    let h = (b - a) / n as f64;
+    let mut acc = f(a) + f(b);
+    for i in 1..n {
+        let weight = if i % 2 == 1 { 4.0 } else { 2.0 };
+        acc += weight * f(a + h * i as f64);
+    }
+    acc * h / 3.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_for_polynomials_up_to_cubic() {
+        for (f, expected) in [
+            (Box::new(|_x: f64| 1.0) as Box<dyn Fn(f64) -> f64>, 3.0),
+            (Box::new(|x: f64| x), 4.5),
+            (Box::new(|x: f64| x * x), 9.0),
+            (Box::new(|x: f64| x * x * x), 20.25),
+        ] {
+            let got = simpson(0.0, 3.0, 2, &f);
+            assert!((got - expected).abs() < 1e-12, "got {got}, want {expected}");
+        }
+    }
+
+    #[test]
+    fn converges_on_transcendentals() {
+        let coarse = simpson(0.0, std::f64::consts::PI, 4, f64::sin);
+        let fine = simpson(0.0, std::f64::consts::PI, 64, f64::sin);
+        assert!((fine - 2.0).abs() < 1e-6);
+        assert!((fine - 2.0).abs() < (coarse - 2.0).abs());
+    }
+
+    #[test]
+    fn odd_interval_count_rounded_up() {
+        // 3 intervals is treated as 4; result must still be exact for x².
+        let got = simpson(0.0, 1.0, 3, |x| x * x);
+        assert!((got - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_interval_is_zero() {
+        assert_eq!(simpson(2.0, 2.0, 8, |x| x), 0.0);
+    }
+
+    #[test]
+    fn reversed_bounds_negate() {
+        let forward = simpson(0.0, 1.0, 8, |x| x * x);
+        let backward = simpson(1.0, 0.0, 8, |x| x * x);
+        assert!((forward + backward).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one interval")]
+    fn zero_intervals_rejected() {
+        let _ = simpson(0.0, 1.0, 0, |x| x);
+    }
+}

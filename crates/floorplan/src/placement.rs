@@ -1,0 +1,138 @@
+//! The result of packing a slicing floorplan.
+
+use irgrid_geom::{Rect, UmArea};
+use irgrid_netlist::ModuleId;
+use serde::{Deserialize, Serialize};
+
+/// A packed floorplan: one rectangle per module plus the chip bounding box.
+///
+/// Produced by [`pack`](crate::pack); all rectangles are pairwise
+/// non-overlapping (positive-area overlaps) and contained in the chip —
+/// guaranteed by the slicing construction and re-checked by
+/// [`Placement::check_consistency`] in tests.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Placement {
+    rects: Vec<Rect>,
+    rotated: Vec<bool>,
+    chip: Rect,
+}
+
+impl Placement {
+    pub(crate) fn from_parts(rects: Vec<Rect>, rotated: Vec<bool>, chip: Rect) -> Placement {
+        debug_assert_eq!(rects.len(), rotated.len());
+        Placement {
+            rects,
+            rotated,
+            chip,
+        }
+    }
+
+    /// The placed rectangle of a module.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range for the packed circuit.
+    #[must_use]
+    pub fn module_rect(&self, id: ModuleId) -> Rect {
+        self.rects[id.index()]
+    }
+
+    /// Whether a module was rotated 90° from its netlist orientation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[must_use]
+    pub fn is_rotated(&self, id: ModuleId) -> bool {
+        self.rotated[id.index()]
+    }
+
+    /// All module rectangles, indexable by [`ModuleId::index`].
+    #[must_use]
+    pub fn module_rects(&self) -> &[Rect] {
+        &self.rects
+    }
+
+    /// The chip bounding box (lower-left at the origin).
+    #[must_use]
+    pub fn chip(&self) -> Rect {
+        self.chip
+    }
+
+    /// Chip area — the floorplanner's area objective.
+    #[must_use]
+    pub fn area(&self) -> UmArea {
+        self.chip.area()
+    }
+
+    /// Dead space: chip area minus total module area.
+    #[must_use]
+    pub fn dead_space(&self) -> UmArea {
+        self.area() - self.rects.iter().map(Rect::area).sum::<UmArea>()
+    }
+
+    /// Verifies structural soundness: every module inside the chip and no
+    /// two modules overlapping with positive area. Returns a description
+    /// of the first violation, if any. Intended for tests and debugging
+    /// (`O(n²)`).
+    #[must_use]
+    pub fn check_consistency(&self) -> Option<String> {
+        for (i, r) in self.rects.iter().enumerate() {
+            if !self.chip.contains_rect(r) {
+                return Some(format!("module {i} at {r} escapes chip {}", self.chip));
+            }
+        }
+        for i in 0..self.rects.len() {
+            for j in (i + 1)..self.rects.len() {
+                if self.rects[i].overlaps_area(&self.rects[j]) {
+                    return Some(format!(
+                        "modules {i} and {j} overlap: {} vs {}",
+                        self.rects[i], self.rects[j]
+                    ));
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use irgrid_geom::{Point, Um};
+
+    fn rect(x0: i64, y0: i64, x1: i64, y1: i64) -> Rect {
+        Rect::new(Point::new(Um(x0), Um(y0)), Point::new(Um(x1), Um(y1)))
+    }
+
+    #[test]
+    fn accessors() {
+        let p = Placement::from_parts(
+            vec![rect(0, 0, 5, 5), rect(5, 0, 10, 4)],
+            vec![false, true],
+            rect(0, 0, 10, 5),
+        );
+        assert_eq!(p.module_rect(ModuleId(1)), rect(5, 0, 10, 4));
+        assert!(p.is_rotated(ModuleId(1)));
+        assert!(!p.is_rotated(ModuleId(0)));
+        assert_eq!(p.area(), UmArea(50));
+        assert_eq!(p.dead_space(), UmArea(50 - 25 - 20));
+        assert!(p.check_consistency().is_none());
+    }
+
+    #[test]
+    fn consistency_detects_overlap() {
+        let p = Placement::from_parts(
+            vec![rect(0, 0, 5, 5), rect(4, 0, 9, 5)],
+            vec![false, false],
+            rect(0, 0, 10, 5),
+        );
+        assert!(p.check_consistency().expect("overlap").contains("overlap"));
+    }
+
+    #[test]
+    fn consistency_detects_escape() {
+        let p = Placement::from_parts(vec![rect(0, 0, 11, 5)], vec![false], rect(0, 0, 10, 5));
+        assert!(p.check_consistency().expect("escape").contains("escapes"));
+    }
+}

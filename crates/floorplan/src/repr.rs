@@ -1,0 +1,78 @@
+//! The floorplan-representation abstraction.
+//!
+//! The congestion models only see a [`Placement`]; how module positions
+//! are encoded and perturbed is orthogonal. The paper uses normalized
+//! Polish expressions (slicing floorplans); this trait lets the annealer
+//! drive any representation — the workspace also ships sequence pairs
+//! ([`SequencePair`](crate::SequencePair)), which cover non-slicing
+//! floorplans.
+
+use irgrid_netlist::Circuit;
+use rand::Rng;
+
+use crate::{pack, Placement, PolishExpr};
+
+/// A perturbable encoding of a floorplan.
+pub trait FloorplanRepr: Clone {
+    /// The canonical initial encoding for `module_count` modules.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `module_count` is zero.
+    fn initial(module_count: usize) -> Self;
+
+    /// Applies one random perturbation move.
+    fn perturb<R: Rng>(&mut self, rng: &mut R);
+
+    /// Realizes the encoding as a packed placement of `circuit`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the encoding and circuit disagree on module count.
+    fn place(&self, circuit: &Circuit) -> Placement;
+}
+
+impl FloorplanRepr for PolishExpr {
+    fn initial(module_count: usize) -> PolishExpr {
+        PolishExpr::initial(module_count)
+    }
+
+    fn perturb<R: Rng>(&mut self, rng: &mut R) {
+        if self.operand_count() > 1 {
+            self.perturb_random(rng);
+        }
+    }
+
+    fn place(&self, circuit: &Circuit) -> Placement {
+        pack(self, circuit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use irgrid_netlist::generator::CircuitGenerator;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn polish_expr_implements_repr() {
+        let circuit = CircuitGenerator::new("r", 6, 0).seed(1).generate().expect("valid");
+        let mut repr = <PolishExpr as FloorplanRepr>::initial(6);
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        for _ in 0..20 {
+            FloorplanRepr::perturb(&mut repr, &mut rng);
+            let placement = repr.place(&circuit);
+            assert!(placement.check_consistency().is_none());
+        }
+    }
+
+    #[test]
+    fn single_module_perturb_is_a_noop() {
+        let mut repr = <PolishExpr as FloorplanRepr>::initial(1);
+        let before = repr.clone();
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        FloorplanRepr::perturb(&mut repr, &mut rng);
+        assert_eq!(repr, before);
+    }
+}

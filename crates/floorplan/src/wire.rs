@@ -1,0 +1,189 @@
+//! Wirelength and 2-pin decomposition of a placed circuit.
+//!
+//! Per §5 of the paper, multi-pin nets are decomposed into 2-pin nets by a
+//! minimum spanning tree; the wirelength objective is the total Manhattan
+//! length of those trees, and the congestion models consume the individual
+//! 2-pin segments (each segment's bounding box is a routing range).
+
+use irgrid_geom::{Point, Rect, Um};
+use irgrid_netlist::{mst, Circuit};
+
+use crate::{PinPlacer, Placement};
+
+/// Computes the pins of every net: `result[net.index()]` holds one point
+/// per net member, in member order.
+#[must_use]
+pub fn net_pins(circuit: &Circuit, placement: &Placement, placer: &PinPlacer) -> Vec<Vec<Point>> {
+    circuit
+        .nets()
+        .iter()
+        .map(|net| {
+            let members: Vec<Rect> = net
+                .pins()
+                .iter()
+                .map(|&m| placement.module_rect(m))
+                .collect();
+            placer.place_net(&members)
+        })
+        .collect()
+}
+
+/// Total wirelength: the sum over nets of the Manhattan MST length of the
+/// net's pins. This is the paper's wire-length objective.
+#[must_use]
+pub fn total_wirelength(circuit: &Circuit, placement: &Placement, placer: &PinPlacer) -> Um {
+    net_pins(circuit, placement, placer)
+        .iter()
+        .map(|pins| mst::mst_length(pins))
+        .sum()
+}
+
+/// How multi-pin nets are broken into 2-pin segments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Decomposition {
+    /// Minimum spanning tree (the paper's choice, §5).
+    #[default]
+    Mst,
+    /// Star from the centroid-nearest pin (cheaper, longer wire; for the
+    /// decomposition ablation).
+    Star,
+}
+
+/// All 2-pin segments of the MST decomposition, across all nets.
+///
+/// Segments whose endpoints coincide are dropped: a zero-length segment has
+/// no routing range and cannot congest anything.
+#[must_use]
+pub fn two_pin_segments(
+    circuit: &Circuit,
+    placement: &Placement,
+    placer: &PinPlacer,
+) -> Vec<(Point, Point)> {
+    two_pin_segments_with(circuit, placement, placer, Decomposition::Mst)
+}
+
+/// All 2-pin segments under the chosen [`Decomposition`].
+#[must_use]
+pub fn two_pin_segments_with(
+    circuit: &Circuit,
+    placement: &Placement,
+    placer: &PinPlacer,
+    decomposition: Decomposition,
+) -> Vec<(Point, Point)> {
+    net_pins(circuit, placement, placer)
+        .iter()
+        .flat_map(|pins| match decomposition {
+            Decomposition::Mst => mst::decompose(pins),
+            Decomposition::Star => mst::star_decompose(pins),
+        })
+        .filter(|(a, b)| a != b)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{pack, PolishExpr};
+    use irgrid_geom::Um;
+    use irgrid_netlist::{mcnc::McncCircuit, Module, ModuleId, Net};
+
+    fn two_module_circuit() -> Circuit {
+        Circuit::new(
+            "t",
+            vec![
+                Module::new("a", Um(100), Um(100)).expect("valid"),
+                Module::new("b", Um(50), Um(50)).expect("valid"),
+            ],
+            vec![Net::new("ab", vec![ModuleId(0), ModuleId(1)]).expect("valid")],
+        )
+        .expect("valid circuit")
+    }
+
+    #[test]
+    fn wirelength_positive_for_offset_modules() {
+        let c = two_module_circuit();
+        let p = pack(&PolishExpr::initial(2), &c);
+        let placer = PinPlacer::new(Um(10));
+        let wl = total_wirelength(&c, &p, &placer);
+        // The modules differ in size, so their facing pins cannot
+        // coincide exactly (y-centers differ).
+        assert!(wl > Um::ZERO, "offset modules must have wire, got {wl}");
+        assert!(wl <= p.chip().width() + p.chip().height());
+    }
+
+    #[test]
+    fn abutting_equal_modules_may_have_zero_wire() {
+        // Two identical abutting modules: the facing pins coincide and the
+        // MST collapses — a documented, expected degenerate case.
+        let c = Circuit::new(
+            "t",
+            vec![
+                Module::new("a", Um(100), Um(100)).expect("valid"),
+                Module::new("b", Um(100), Um(100)).expect("valid"),
+            ],
+            vec![Net::new("ab", vec![ModuleId(0), ModuleId(1)]).expect("valid")],
+        )
+        .expect("valid circuit");
+        let p = pack(&PolishExpr::initial(2), &c);
+        let placer = PinPlacer::new(Um(10));
+        assert_eq!(total_wirelength(&c, &p, &placer), Um::ZERO);
+        assert!(two_pin_segments(&c, &p, &placer).is_empty());
+    }
+
+    #[test]
+    fn segments_match_pin_count() {
+        let c = McncCircuit::Apte.circuit();
+        let p = pack(&PolishExpr::initial(c.modules().len()), &c);
+        let placer = PinPlacer::new(Um(60));
+        let segments = two_pin_segments(&c, &p, &placer);
+        // An n-pin net yields at most n-1 segments (fewer if pins coincide).
+        let max_segments: usize = c.nets().iter().map(|n| n.degree() - 1).sum();
+        assert!(segments.len() <= max_segments);
+        assert!(!segments.is_empty());
+        // No degenerate segments survive.
+        assert!(segments.iter().all(|(a, b)| a != b));
+    }
+
+    #[test]
+    fn wirelength_equals_segment_sum() {
+        let c = McncCircuit::Hp.circuit();
+        let p = pack(&PolishExpr::initial(c.modules().len()), &c);
+        let placer = PinPlacer::new(Um(30));
+        let wl = total_wirelength(&c, &p, &placer);
+        let seg_sum: Um = two_pin_segments(&c, &p, &placer)
+            .iter()
+            .map(|(a, b)| a.manhattan_distance(*b))
+            .sum();
+        assert_eq!(wl, seg_sum);
+    }
+
+    #[test]
+    fn star_decomposition_gives_more_or_equal_wire() {
+        let c = McncCircuit::Ami33.circuit();
+        let p = pack(&PolishExpr::initial(c.modules().len()), &c);
+        let placer = PinPlacer::new(Um(30));
+        let wire_of = |d: Decomposition| -> i64 {
+            two_pin_segments_with(&c, &p, &placer, d)
+                .iter()
+                .map(|(a, b)| a.manhattan_distance(*b).0)
+                .sum()
+        };
+        assert!(wire_of(Decomposition::Star) >= wire_of(Decomposition::Mst));
+    }
+
+    #[test]
+    fn pins_lie_on_their_modules() {
+        let c = McncCircuit::Ami33.circuit();
+        let p = pack(&PolishExpr::initial(c.modules().len()), &c);
+        let placer = PinPlacer::new(Um(30));
+        for (net, pins) in c.nets().iter().zip(net_pins(&c, &p, &placer)) {
+            assert_eq!(net.degree(), pins.len());
+            for (&module, &pin) in net.pins().iter().zip(&pins) {
+                assert!(
+                    p.module_rect(module).contains(pin),
+                    "pin {pin} off module {module}"
+                );
+            }
+        }
+    }
+}

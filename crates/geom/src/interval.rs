@@ -1,0 +1,173 @@
+//! Closed 1-D intervals.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::Um;
+
+/// A closed interval `[lo, hi]` on one axis, in micrometers.
+///
+/// Degenerate intervals (`lo == hi`) are allowed: a 2-pin net whose pins
+/// share an x-coordinate has a zero-width routing range in that axis.
+///
+/// # Examples
+///
+/// ```
+/// use irgrid_geom::{Interval, Um};
+///
+/// let a = Interval::new(Um(0), Um(10));
+/// let b = Interval::new(Um(4), Um(20));
+/// assert_eq!(a.intersection(b), Some(Interval::new(Um(4), Um(10))));
+/// assert_eq!(a.length(), Um(10));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Interval {
+    lo: Um,
+    hi: Um,
+}
+
+impl Interval {
+    /// Creates `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    #[must_use]
+    pub fn new(lo: Um, hi: Um) -> Interval {
+        assert!(lo <= hi, "interval lower bound {lo} exceeds upper bound {hi}");
+        Interval { lo, hi }
+    }
+
+    /// Creates the interval spanning two endpoints in either order.
+    #[must_use]
+    pub fn spanning(a: Um, b: Um) -> Interval {
+        Interval {
+            lo: a.min(b),
+            hi: a.max(b),
+        }
+    }
+
+    /// Lower bound.
+    #[must_use]
+    pub fn lo(self) -> Um {
+        self.lo
+    }
+
+    /// Upper bound.
+    #[must_use]
+    pub fn hi(self) -> Um {
+        self.hi
+    }
+
+    /// `hi - lo`.
+    #[must_use]
+    pub fn length(self) -> Um {
+        self.hi - self.lo
+    }
+
+    /// Whether the interval has zero length.
+    #[must_use]
+    pub fn is_degenerate(self) -> bool {
+        self.lo == self.hi
+    }
+
+    /// Whether `v` lies in `[lo, hi]` (closed on both ends).
+    #[must_use]
+    pub fn contains(self, v: Um) -> bool {
+        self.lo <= v && v <= self.hi
+    }
+
+    /// Whether `other` lies entirely within `self`.
+    #[must_use]
+    pub fn contains_interval(self, other: Interval) -> bool {
+        self.lo <= other.lo && other.hi <= self.hi
+    }
+
+    /// The overlap with `other`, or `None` if they are disjoint.
+    ///
+    /// Touching intervals overlap in a degenerate (zero-length) interval.
+    #[must_use]
+    pub fn intersection(self, other: Interval) -> Option<Interval> {
+        let lo = self.lo.max(other.lo);
+        let hi = self.hi.min(other.hi);
+        (lo <= hi).then_some(Interval { lo, hi })
+    }
+
+    /// The smallest interval covering both `self` and `other`.
+    #[must_use]
+    pub fn hull(self, other: Interval) -> Interval {
+        Interval {
+            lo: self.lo.min(other.lo),
+            hi: self.hi.max(other.hi),
+        }
+    }
+}
+
+impl fmt::Display for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {}]", self.lo, self.hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spanning_orders_endpoints() {
+        assert_eq!(Interval::spanning(Um(9), Um(2)), Interval::new(Um(2), Um(9)));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds upper bound")]
+    fn new_rejects_inverted() {
+        let _ = Interval::new(Um(3), Um(1));
+    }
+
+    #[test]
+    fn contains_is_closed() {
+        let i = Interval::new(Um(2), Um(5));
+        assert!(i.contains(Um(2)));
+        assert!(i.contains(Um(5)));
+        assert!(!i.contains(Um(1)));
+        assert!(!i.contains(Um(6)));
+    }
+
+    #[test]
+    fn intersection_cases() {
+        let a = Interval::new(Um(0), Um(10));
+        assert_eq!(
+            a.intersection(Interval::new(Um(5), Um(15))),
+            Some(Interval::new(Um(5), Um(10)))
+        );
+        // Touching intervals intersect degenerately.
+        assert_eq!(
+            a.intersection(Interval::new(Um(10), Um(20))),
+            Some(Interval::new(Um(10), Um(10)))
+        );
+        assert_eq!(a.intersection(Interval::new(Um(11), Um(20))), None);
+    }
+
+    #[test]
+    fn hull_covers_both() {
+        let h = Interval::new(Um(0), Um(2)).hull(Interval::new(Um(8), Um(9)));
+        assert_eq!(h, Interval::new(Um(0), Um(9)));
+    }
+
+    #[test]
+    fn degenerate_interval() {
+        let d = Interval::new(Um(4), Um(4));
+        assert!(d.is_degenerate());
+        assert_eq!(d.length(), Um::ZERO);
+        assert!(d.contains(Um(4)));
+    }
+
+    #[test]
+    fn contains_interval() {
+        let outer = Interval::new(Um(0), Um(10));
+        assert!(outer.contains_interval(Interval::new(Um(2), Um(8))));
+        assert!(outer.contains_interval(outer));
+        assert!(!outer.contains_interval(Interval::new(Um(2), Um(11))));
+    }
+}

@@ -1,0 +1,118 @@
+//! 2-D points.
+
+use std::fmt;
+use std::ops::{Add, Sub};
+
+use serde::{Deserialize, Serialize};
+
+use crate::Um;
+
+/// A point in the chip plane, in micrometers.
+///
+/// # Examples
+///
+/// ```
+/// use irgrid_geom::{Point, Um};
+///
+/// let a = Point::new(Um(10), Um(20));
+/// let b = Point::new(Um(13), Um(16));
+/// assert_eq!(a.manhattan_distance(b), Um(7));
+/// ```
+#[derive(
+    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct Point {
+    /// Horizontal coordinate.
+    pub x: Um,
+    /// Vertical coordinate.
+    pub y: Um,
+}
+
+impl Point {
+    /// The origin.
+    pub const ORIGIN: Point = Point {
+        x: Um::ZERO,
+        y: Um::ZERO,
+    };
+
+    /// Creates a point from its coordinates.
+    #[must_use]
+    pub fn new(x: Um, y: Um) -> Point {
+        Point { x, y }
+    }
+
+    /// The L1 (Manhattan) distance to `other`.
+    ///
+    /// All routes in the congestion model are shortest Manhattan paths, so
+    /// this is also the wirelength contribution of a 2-pin net.
+    #[must_use]
+    pub fn manhattan_distance(self, other: Point) -> Um {
+        (self.x - other.x).abs() + (self.y - other.y).abs()
+    }
+
+    /// Component-wise minimum.
+    #[must_use]
+    pub fn min(self, other: Point) -> Point {
+        Point::new(self.x.min(other.x), self.y.min(other.y))
+    }
+
+    /// Component-wise maximum.
+    #[must_use]
+    pub fn max(self, other: Point) -> Point {
+        Point::new(self.x.max(other.x), self.y.max(other.y))
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.x, self.y)
+    }
+}
+
+impl Add for Point {
+    type Output = Point;
+    fn add(self, rhs: Point) -> Point {
+        Point::new(self.x + rhs.x, self.y + rhs.y)
+    }
+}
+
+impl Sub for Point {
+    type Output = Point;
+    fn sub(self, rhs: Point) -> Point {
+        Point::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manhattan_distance_is_symmetric_and_l1() {
+        let a = Point::new(Um(0), Um(0));
+        let b = Point::new(Um(3), Um(-4));
+        assert_eq!(a.manhattan_distance(b), Um(7));
+        assert_eq!(b.manhattan_distance(a), Um(7));
+        assert_eq!(a.manhattan_distance(a), Um::ZERO);
+    }
+
+    #[test]
+    fn component_min_max() {
+        let a = Point::new(Um(1), Um(9));
+        let b = Point::new(Um(5), Um(2));
+        assert_eq!(a.min(b), Point::new(Um(1), Um(2)));
+        assert_eq!(a.max(b), Point::new(Um(5), Um(9)));
+    }
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let a = Point::new(Um(1), Um(2));
+        let d = Point::new(Um(10), Um(-5));
+        assert_eq!(a + d - d, a);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Point::new(Um(1), Um(2)).to_string(), "(1um, 2um)");
+    }
+}

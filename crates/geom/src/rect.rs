@@ -1,0 +1,262 @@
+//! Axis-aligned rectangles.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Interval, Point, Um, UmArea};
+
+/// An axis-aligned rectangle, closed on all four sides.
+///
+/// Rectangles may be degenerate in either axis: the routing range of a
+/// 2-pin net whose pins are horizontally aligned is a zero-height rectangle
+/// (the paper's "line" case), and a net whose pins coincide is a single
+/// point.
+///
+/// # Examples
+///
+/// ```
+/// use irgrid_geom::{Point, Rect, Um};
+///
+/// let r = Rect::from_corner_points(
+///     Point::new(Um(10), Um(40)),
+///     Point::new(Um(30), Um(0)),
+/// );
+/// assert_eq!(r.ll(), Point::new(Um(10), Um(0)));
+/// assert_eq!(r.ur(), Point::new(Um(30), Um(40)));
+/// assert_eq!(r.area().0, 20 * 40);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Rect {
+    ll: Point,
+    ur: Point,
+}
+
+impl Rect {
+    /// Creates a rectangle from its lower-left and upper-right corners.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ll` is not component-wise ≤ `ur`.
+    #[must_use]
+    pub fn new(ll: Point, ur: Point) -> Rect {
+        assert!(
+            ll.x <= ur.x && ll.y <= ur.y,
+            "lower-left corner {ll} must not exceed upper-right corner {ur}"
+        );
+        Rect { ll, ur }
+    }
+
+    /// Creates the bounding box of two arbitrary corner points.
+    ///
+    /// This is exactly the "routing range" construction of the paper: the
+    /// bounding box of a 2-pin net's pins.
+    #[must_use]
+    pub fn from_corner_points(a: Point, b: Point) -> Rect {
+        Rect {
+            ll: a.min(b),
+            ur: a.max(b),
+        }
+    }
+
+    /// Creates a rectangle from its origin and extents.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` or `height` is negative.
+    #[must_use]
+    pub fn from_origin_size(origin: Point, width: Um, height: Um) -> Rect {
+        assert!(
+            width >= Um::ZERO && height >= Um::ZERO,
+            "rect extents must be non-negative, got {width} x {height}"
+        );
+        Rect {
+            ll: origin,
+            ur: Point::new(origin.x + width, origin.y + height),
+        }
+    }
+
+    /// Lower-left corner.
+    #[must_use]
+    pub fn ll(&self) -> Point {
+        self.ll
+    }
+
+    /// Upper-right corner.
+    #[must_use]
+    pub fn ur(&self) -> Point {
+        self.ur
+    }
+
+    /// Horizontal extent as an interval.
+    #[must_use]
+    pub fn x_range(&self) -> Interval {
+        Interval::new(self.ll.x, self.ur.x)
+    }
+
+    /// Vertical extent as an interval.
+    #[must_use]
+    pub fn y_range(&self) -> Interval {
+        Interval::new(self.ll.y, self.ur.y)
+    }
+
+    /// Width (`ur.x - ll.x`).
+    #[must_use]
+    pub fn width(&self) -> Um {
+        self.ur.x - self.ll.x
+    }
+
+    /// Height (`ur.y - ll.y`).
+    #[must_use]
+    pub fn height(&self) -> Um {
+        self.ur.y - self.ll.y
+    }
+
+    /// Area in µm².
+    #[must_use]
+    pub fn area(&self) -> UmArea {
+        self.width() * self.height()
+    }
+
+    /// Center point, rounded down to integer micrometers.
+    #[must_use]
+    pub fn center(&self) -> Point {
+        Point::new(
+            self.ll.x + self.width() / 2,
+            self.ll.y + self.height() / 2,
+        )
+    }
+
+    /// Whether the rectangle has zero area (a line or a point).
+    #[must_use]
+    pub fn is_degenerate(&self) -> bool {
+        self.width() == Um::ZERO || self.height() == Um::ZERO
+    }
+
+    /// Whether `p` lies inside or on the boundary.
+    #[must_use]
+    pub fn contains(&self, p: Point) -> bool {
+        self.x_range().contains(p.x) && self.y_range().contains(p.y)
+    }
+
+    /// Whether `other` lies entirely within `self` (boundaries may touch).
+    #[must_use]
+    pub fn contains_rect(&self, other: &Rect) -> bool {
+        self.x_range().contains_interval(other.x_range())
+            && self.y_range().contains_interval(other.y_range())
+    }
+
+    /// The overlap with `other`, or `None` if they are disjoint.
+    ///
+    /// Rectangles that merely touch overlap in a degenerate rectangle.
+    #[must_use]
+    pub fn intersection(&self, other: &Rect) -> Option<Rect> {
+        let x = self.x_range().intersection(other.x_range())?;
+        let y = self.y_range().intersection(other.y_range())?;
+        Some(Rect {
+            ll: Point::new(x.lo(), y.lo()),
+            ur: Point::new(x.hi(), y.hi()),
+        })
+    }
+
+    /// Whether `self` and `other` overlap with positive area.
+    #[must_use]
+    pub fn overlaps_area(&self, other: &Rect) -> bool {
+        self.intersection(other)
+            .is_some_and(|r| !r.is_degenerate())
+    }
+
+    /// The smallest rectangle covering both `self` and `other`.
+    #[must_use]
+    pub fn hull(&self, other: &Rect) -> Rect {
+        Rect {
+            ll: self.ll.min(other.ll),
+            ur: self.ur.max(other.ur),
+        }
+    }
+
+    /// Translates by `(dx, dy)`.
+    #[must_use]
+    pub fn translated(&self, dx: Um, dy: Um) -> Rect {
+        let d = Point::new(dx, dy);
+        Rect {
+            ll: self.ll + d,
+            ur: self.ur + d,
+        }
+    }
+}
+
+impl fmt::Display for Rect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{} .. {}]", self.ll, self.ur)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rect(x0: i64, y0: i64, x1: i64, y1: i64) -> Rect {
+        Rect::new(Point::new(Um(x0), Um(y0)), Point::new(Um(x1), Um(y1)))
+    }
+
+    #[test]
+    fn from_corner_points_normalizes() {
+        let r = Rect::from_corner_points(Point::new(Um(5), Um(1)), Point::new(Um(2), Um(9)));
+        assert_eq!(r, rect(2, 1, 5, 9));
+    }
+
+    #[test]
+    #[should_panic(expected = "must not exceed")]
+    fn new_rejects_inverted_corners() {
+        let _ = rect(5, 0, 4, 1);
+    }
+
+    #[test]
+    fn extent_accessors() {
+        let r = rect(1, 2, 4, 10);
+        assert_eq!(r.width(), Um(3));
+        assert_eq!(r.height(), Um(8));
+        assert_eq!(r.area(), UmArea(24));
+        assert_eq!(r.center(), Point::new(Um(2), Um(6)));
+    }
+
+    #[test]
+    fn degenerate_shapes() {
+        assert!(rect(0, 0, 0, 5).is_degenerate()); // vertical line
+        assert!(rect(0, 0, 5, 0).is_degenerate()); // horizontal line
+        assert!(rect(3, 3, 3, 3).is_degenerate()); // point
+        assert!(!rect(0, 0, 1, 1).is_degenerate());
+    }
+
+    #[test]
+    fn containment() {
+        let outer = rect(0, 0, 10, 10);
+        assert!(outer.contains(Point::new(Um(0), Um(10))));
+        assert!(!outer.contains(Point::new(Um(11), Um(0))));
+        assert!(outer.contains_rect(&rect(1, 1, 9, 9)));
+        assert!(outer.contains_rect(&outer));
+        assert!(!outer.contains_rect(&rect(1, 1, 11, 9)));
+    }
+
+    #[test]
+    fn intersection_and_overlap() {
+        let a = rect(0, 0, 10, 10);
+        let b = rect(5, 5, 15, 15);
+        assert_eq!(a.intersection(&b), Some(rect(5, 5, 10, 10)));
+        assert!(a.overlaps_area(&b));
+        // Touching edge: degenerate overlap, no positive-area overlap.
+        let c = rect(10, 0, 20, 10);
+        assert_eq!(a.intersection(&c), Some(rect(10, 0, 10, 10)));
+        assert!(!a.overlaps_area(&c));
+        // Disjoint.
+        assert_eq!(a.intersection(&rect(11, 11, 12, 12)), None);
+    }
+
+    #[test]
+    fn hull_and_translate() {
+        let h = rect(0, 0, 1, 1).hull(&rect(5, 7, 6, 9));
+        assert_eq!(h, rect(0, 0, 6, 9));
+        assert_eq!(rect(0, 0, 1, 1).translated(Um(3), Um(-2)), rect(3, -2, 4, -1));
+    }
+}

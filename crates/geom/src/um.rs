@@ -1,0 +1,304 @@
+//! Micron-denominated scalar types.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Rem, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+/// A length in integer micrometers.
+///
+/// `Um` is the only length unit used across the workspace. It is a thin
+/// newtype over `i64`, so arithmetic is exact and two coordinates derived
+/// from the same module edge always compare equal — a prerequisite for the
+/// Irregular-Grid cutting-line dedup.
+///
+/// # Examples
+///
+/// ```
+/// use irgrid_geom::Um;
+///
+/// let pitch = Um(30);
+/// assert_eq!(pitch * 4, Um(120));
+/// assert_eq!(Um(100).div_ceil(pitch), 4);
+/// ```
+#[derive(
+    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct Um(pub i64);
+
+impl Um {
+    /// The zero length.
+    pub const ZERO: Um = Um(0);
+
+    /// Largest representable length.
+    pub const MAX: Um = Um(i64::MAX);
+
+    /// Absolute value.
+    #[must_use]
+    pub fn abs(self) -> Um {
+        Um(self.0.abs())
+    }
+
+    /// The smaller of `self` and `other`.
+    #[must_use]
+    pub fn min(self, other: Um) -> Um {
+        Um(self.0.min(other.0))
+    }
+
+    /// The larger of `self` and `other`.
+    #[must_use]
+    pub fn max(self, other: Um) -> Um {
+        Um(self.0.max(other.0))
+    }
+
+    /// Number of whole `pitch`-sized steps needed to cover `self`,
+    /// rounding up.
+    ///
+    /// This is how a chip edge is converted to a grid-cell count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pitch` is not positive.
+    #[must_use]
+    pub fn div_ceil(self, pitch: Um) -> i64 {
+        assert!(pitch.0 > 0, "pitch must be positive, got {pitch}");
+        (self.0 + pitch.0 - 1).div_euclid(pitch.0)
+    }
+
+    /// Number of whole `pitch`-sized steps below `self`, rounding down.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pitch` is not positive.
+    #[must_use]
+    pub fn div_floor(self, pitch: Um) -> i64 {
+        assert!(pitch.0 > 0, "pitch must be positive, got {pitch}");
+        self.0.div_euclid(pitch.0)
+    }
+
+    /// Converts to `f64` micrometers (for metrics and reporting only —
+    /// geometric predicates stay in integers).
+    #[must_use]
+    pub fn as_f64(self) -> f64 {
+        self.0 as f64
+    }
+}
+
+impl fmt::Display for Um {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}um", self.0)
+    }
+}
+
+impl From<i64> for Um {
+    fn from(v: i64) -> Self {
+        Um(v)
+    }
+}
+
+impl Add for Um {
+    type Output = Um;
+    fn add(self, rhs: Um) -> Um {
+        Um(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Um {
+    fn add_assign(&mut self, rhs: Um) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Um {
+    type Output = Um;
+    fn sub(self, rhs: Um) -> Um {
+        Um(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Um {
+    fn sub_assign(&mut self, rhs: Um) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Neg for Um {
+    type Output = Um;
+    fn neg(self) -> Um {
+        Um(-self.0)
+    }
+}
+
+impl Mul<i64> for Um {
+    type Output = Um;
+    fn mul(self, rhs: i64) -> Um {
+        Um(self.0 * rhs)
+    }
+}
+
+impl Mul<Um> for Um {
+    type Output = UmArea;
+    fn mul(self, rhs: Um) -> UmArea {
+        UmArea(i128::from(self.0) * i128::from(rhs.0))
+    }
+}
+
+impl Div<i64> for Um {
+    type Output = Um;
+    fn div(self, rhs: i64) -> Um {
+        Um(self.0 / rhs)
+    }
+}
+
+impl Rem<Um> for Um {
+    type Output = Um;
+    fn rem(self, rhs: Um) -> Um {
+        Um(self.0.rem_euclid(rhs.0))
+    }
+}
+
+impl Sum for Um {
+    fn sum<I: Iterator<Item = Um>>(iter: I) -> Um {
+        iter.fold(Um::ZERO, Add::add)
+    }
+}
+
+/// An area in square micrometers.
+///
+/// Stored as `i128`: a 10 mm × 10 mm chip is 10⁸ µm², and intermediate sums
+/// over thousands of modules stay far from overflow.
+///
+/// # Examples
+///
+/// ```
+/// use irgrid_geom::{Um, UmArea};
+///
+/// let a = Um(2000) * Um(3000); // 2 mm x 3 mm
+/// assert_eq!(a, UmArea(6_000_000));
+/// assert!((a.as_mm2() - 6.0).abs() < 1e-12);
+/// ```
+#[derive(
+    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct UmArea(pub i128);
+
+impl UmArea {
+    /// The zero area.
+    pub const ZERO: UmArea = UmArea(0);
+
+    /// Converts to square millimeters (reporting convenience; the paper's
+    /// tables quote areas in mm²).
+    #[must_use]
+    pub fn as_mm2(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Converts to `f64` µm².
+    #[must_use]
+    pub fn as_f64(self) -> f64 {
+        self.0 as f64
+    }
+}
+
+impl fmt::Display for UmArea {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}um2", self.0)
+    }
+}
+
+impl Add for UmArea {
+    type Output = UmArea;
+    fn add(self, rhs: UmArea) -> UmArea {
+        UmArea(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for UmArea {
+    fn add_assign(&mut self, rhs: UmArea) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for UmArea {
+    type Output = UmArea;
+    fn sub(self, rhs: UmArea) -> UmArea {
+        UmArea(self.0 - rhs.0)
+    }
+}
+
+impl Sum for UmArea {
+    fn sum<I: Iterator<Item = UmArea>>(iter: I) -> UmArea {
+        iter.fold(UmArea::ZERO, Add::add)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_roundtrip() {
+        let a = Um(7) + Um(5) - Um(2);
+        assert_eq!(a, Um(10));
+        let mut b = a;
+        b += Um(1);
+        b -= Um(11);
+        assert_eq!(b, Um::ZERO);
+        assert_eq!(-Um(3), Um(-3));
+        assert_eq!(Um(-3).abs(), Um(3));
+    }
+
+    #[test]
+    fn min_max() {
+        assert_eq!(Um(3).min(Um(9)), Um(3));
+        assert_eq!(Um(3).max(Um(9)), Um(9));
+    }
+
+    #[test]
+    fn div_ceil_covers_edge() {
+        assert_eq!(Um(100).div_ceil(Um(30)), 4);
+        assert_eq!(Um(90).div_ceil(Um(30)), 3);
+        assert_eq!(Um(1).div_ceil(Um(30)), 1);
+        assert_eq!(Um(0).div_ceil(Um(30)), 0);
+    }
+
+    #[test]
+    fn div_floor_truncates() {
+        assert_eq!(Um(100).div_floor(Um(30)), 3);
+        assert_eq!(Um(90).div_floor(Um(30)), 3);
+        assert_eq!(Um(29).div_floor(Um(30)), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "pitch must be positive")]
+    fn div_ceil_rejects_zero_pitch() {
+        let _ = Um(10).div_ceil(Um(0));
+    }
+
+    #[test]
+    fn area_product_and_units() {
+        assert_eq!(Um(2000) * Um(3000), UmArea(6_000_000));
+        assert!((UmArea(6_000_000).as_mm2() - 6.0).abs() < 1e-12);
+        let total: UmArea = [Um(2) * Um(3), Um(4) * Um(5)].into_iter().sum();
+        assert_eq!(total, UmArea(26));
+    }
+
+    #[test]
+    fn rem_is_euclidean() {
+        assert_eq!(Um(7) % Um(3), Um(1));
+        assert_eq!(Um(-1) % Um(3), Um(2));
+    }
+
+    #[test]
+    fn display_has_unit_suffix() {
+        assert_eq!(Um(42).to_string(), "42um");
+        assert_eq!(UmArea(9).to_string(), "9um2");
+    }
+
+    #[test]
+    fn um_sum() {
+        let s: Um = [Um(1), Um(2), Um(3)].into_iter().sum();
+        assert_eq!(s, Um(6));
+    }
+}

@@ -1,0 +1,436 @@
+//! The routability-driven annealing floorplanner (§5).
+//!
+//! The paper's experimental floorplanner minimizes
+//! `α·Area + β·Wirelength + γ·Congestion` over normalized Polish
+//! expressions by simulated annealing. [`FloorplanProblem`] wires the
+//! workspace pieces together: packing, intersection-to-intersection pin
+//! placement, MST decomposition, and a pluggable [`CongestionModel`].
+//!
+//! Objective terms are normalized by random-walk averages sampled at
+//! construction, so the weights express *relative* importance regardless
+//! of circuit scale — without this, area (µm², ~10⁷) would drown
+//! congestion (~10⁻¹).
+
+use irgrid_anneal::Problem;
+use irgrid_core::CongestionModel;
+use std::marker::PhantomData;
+
+use irgrid_floorplan::{two_pin_segments, FloorplanRepr, PinPlacer, Placement, PolishExpr};
+use irgrid_geom::{Point, Um};
+use irgrid_netlist::Circuit;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Objective weights `(α, β, γ)` for area, wirelength and congestion.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Weights {
+    /// Area weight α.
+    pub area: f64,
+    /// Wirelength weight β.
+    pub wire: f64,
+    /// Congestion weight γ.
+    pub congestion: f64,
+}
+
+impl Weights {
+    /// Equal weight on all three objectives — used by the paper's
+    /// Experiment 1 congestion-aware floorplanner.
+    #[must_use]
+    pub fn balanced() -> Weights {
+        Weights {
+            area: 1.0,
+            wire: 1.0,
+            congestion: 1.0,
+        }
+    }
+
+    /// Area + wirelength only (γ = 0) — the paper's Experiment 1
+    /// baseline floorplanner.
+    #[must_use]
+    pub fn area_wire() -> Weights {
+        Weights {
+            area: 1.0,
+            wire: 1.0,
+            congestion: 0.0,
+        }
+    }
+
+    /// The calibrated routability mix used to reproduce Table 2:
+    /// `(1, 1, 0.5)`. The paper does not state its α/β/γ; with the
+    /// random-walk normalization used here, γ = 0.5 reproduces the
+    /// paper's trade-off character (substantial judged-congestion
+    /// reduction at a modest area/wire penalty) — see the calibration
+    /// notes in EXPERIMENTS.md.
+    #[must_use]
+    pub fn routability() -> Weights {
+        Weights {
+            area: 1.0,
+            wire: 1.0,
+            congestion: 0.5,
+        }
+    }
+
+    /// Congestion only — the paper's Experiments 2 and 3.
+    #[must_use]
+    pub fn congestion_only() -> Weights {
+        Weights {
+            area: 0.0,
+            wire: 0.0,
+            congestion: 1.0,
+        }
+    }
+}
+
+/// A full evaluation of one floorplan candidate.
+#[derive(Debug, Clone)]
+pub struct FloorplanEval {
+    /// The packed placement.
+    pub placement: Placement,
+    /// The MST-decomposed 2-pin segments (input to congestion models).
+    pub segments: Vec<(Point, Point)>,
+    /// Chip area in µm².
+    pub area_um2: f64,
+    /// Total wirelength in µm.
+    pub wirelength_um: f64,
+    /// The congestion model's score (0 when no model is attached).
+    pub congestion: f64,
+    /// The combined, normalized annealing cost.
+    pub cost: f64,
+}
+
+/// The annealing problem: a circuit plus objective configuration.
+///
+/// See the [crate-level quickstart](crate) for an end-to-end example.
+#[derive(Debug)]
+pub struct FloorplanProblem<'c, M, R = PolishExpr> {
+    circuit: &'c Circuit,
+    placer: PinPlacer,
+    weights: Weights,
+    congestion: Option<M>,
+    area_scale: f64,
+    wire_scale: f64,
+    congestion_scale: f64,
+    repr: PhantomData<R>,
+}
+
+impl<'c, M: CongestionModel> FloorplanProblem<'c, M, PolishExpr> {
+    /// Creates a problem for `circuit` with pins and congestion evaluated
+    /// at `pitch`, over normalized Polish expressions (the paper's
+    /// slicing representation).
+    ///
+    /// Normalization scales are estimated from a short deterministic
+    /// random walk (32 perturbations), so two problems over the same
+    /// circuit have identical costs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pitch` is not positive or a weight is negative.
+    #[must_use]
+    pub fn new(
+        circuit: &'c Circuit,
+        pitch: Um,
+        weights: Weights,
+        congestion: Option<M>,
+    ) -> FloorplanProblem<'c, M, PolishExpr> {
+        FloorplanProblem::with_representation(circuit, pitch, weights, congestion)
+    }
+}
+
+impl<'c, M: CongestionModel, R: FloorplanRepr> FloorplanProblem<'c, M, R> {
+    /// Creates a problem over an arbitrary floorplan representation
+    /// (e.g. [`irgrid_floorplan::SequencePair`] for non-slicing
+    /// floorplans).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pitch` is not positive or a weight is negative.
+    #[must_use]
+    pub fn with_representation(
+        circuit: &'c Circuit,
+        pitch: Um,
+        weights: Weights,
+        congestion: Option<M>,
+    ) -> FloorplanProblem<'c, M, R> {
+        assert!(
+            weights.area >= 0.0 && weights.wire >= 0.0 && weights.congestion >= 0.0,
+            "weights must be non-negative, got {weights:?}"
+        );
+        let mut problem = FloorplanProblem {
+            circuit,
+            placer: PinPlacer::new(pitch),
+            weights,
+            congestion,
+            area_scale: 1.0,
+            wire_scale: 1.0,
+            congestion_scale: 1.0,
+            repr: PhantomData,
+        };
+        problem.calibrate();
+        problem
+    }
+
+    /// The circuit being floorplanned.
+    #[must_use]
+    pub fn circuit(&self) -> &Circuit {
+        self.circuit
+    }
+
+    /// The attached congestion model, if any.
+    #[must_use]
+    pub fn congestion_model(&self) -> Option<&M> {
+        self.congestion.as_ref()
+    }
+
+    /// Samples a deterministic random walk to set the normalization
+    /// scales to the average magnitude of each objective.
+    fn calibrate(&mut self) {
+        const SAMPLES: usize = 32;
+        let mut rng = ChaCha8Rng::seed_from_u64(0x5eed_ca1b);
+        let mut repr = R::initial(self.circuit.modules().len());
+        let (mut area_sum, mut wire_sum, mut cgt_sum) = (0.0, 0.0, 0.0);
+        for _ in 0..SAMPLES {
+            repr.perturb(&mut rng);
+            let eval = self.evaluate_raw(&repr);
+            area_sum += eval.0;
+            wire_sum += eval.1;
+            cgt_sum += eval.2;
+        }
+        let n = SAMPLES as f64;
+        self.area_scale = (area_sum / n).max(f64::MIN_POSITIVE);
+        self.wire_scale = (wire_sum / n).max(f64::MIN_POSITIVE);
+        self.congestion_scale = (cgt_sum / n).max(f64::MIN_POSITIVE);
+    }
+
+    /// `(area, wirelength, congestion)` of one encoding, unnormalized.
+    fn evaluate_raw(&self, repr: &R) -> (f64, f64, f64) {
+        let placement = repr.place(self.circuit);
+        let segments = two_pin_segments(self.circuit, &placement, &self.placer);
+        let area = placement.area().as_f64();
+        let wire: f64 = segments
+            .iter()
+            .map(|(a, b)| a.manhattan_distance(*b).as_f64())
+            .sum();
+        let congestion = match &self.congestion {
+            Some(model) if self.weights.congestion > 0.0 => {
+                model.evaluate(&placement.chip(), &segments)
+            }
+            _ => 0.0,
+        };
+        (area, wire, congestion)
+    }
+
+    /// Fully evaluates an expression, returning the placement and all
+    /// objective values. Use this on the annealer's best state to report
+    /// results; the annealing loop itself goes through [`Problem::cost`].
+    #[must_use]
+    pub fn evaluate(&self, repr: &R) -> FloorplanEval {
+        let placement = repr.place(self.circuit);
+        let segments = two_pin_segments(self.circuit, &placement, &self.placer);
+        let area = placement.area().as_f64();
+        let wire: f64 = segments
+            .iter()
+            .map(|(a, b)| a.manhattan_distance(*b).as_f64())
+            .sum();
+        let congestion = match &self.congestion {
+            Some(model) => model.evaluate(&placement.chip(), &segments),
+            None => 0.0,
+        };
+        let cost = self.combine(area, wire, congestion);
+        FloorplanEval {
+            placement,
+            segments,
+            area_um2: area,
+            wirelength_um: wire,
+            congestion,
+            cost,
+        }
+    }
+
+    fn combine(&self, area: f64, wire: f64, congestion: f64) -> f64 {
+        self.weights.area * area / self.area_scale
+            + self.weights.wire * wire / self.wire_scale
+            + self.weights.congestion * congestion / self.congestion_scale
+    }
+}
+
+impl<'c, M: CongestionModel, R: FloorplanRepr> Problem for FloorplanProblem<'c, M, R> {
+    type State = R;
+
+    fn initial_state(&self) -> R {
+        R::initial(self.circuit.modules().len())
+    }
+
+    fn cost(&self, state: &R) -> f64 {
+        let (area, wire, congestion) = self.evaluate_raw(state);
+        self.combine(area, wire, congestion)
+    }
+
+    fn perturb<G: rand::Rng>(&self, state: &mut R, rng: &mut G) {
+        state.perturb(rng);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use irgrid_anneal::{Annealer, Schedule};
+    use irgrid_core::{FixedGridModel, IrregularGridModel};
+    use irgrid_netlist::generator::CircuitGenerator;
+
+    fn small_circuit() -> Circuit {
+        CircuitGenerator::new("t", 8, 16)
+            .total_area_um2(1.0e6)
+            .seed(3)
+            .generate()
+            .expect("valid")
+    }
+
+    #[test]
+    fn cost_is_normalized_near_weight_sum() {
+        let circuit = small_circuit();
+        let problem = FloorplanProblem::new(
+            &circuit,
+            Um(30),
+            Weights::balanced(),
+            Some(IrregularGridModel::new(Um(30))),
+        );
+        // The initial state's cost should be in the ballpark of the
+        // random-walk average, i.e. around α + β + γ = 3.
+        let cost = problem.cost(&problem.initial_state());
+        assert!((0.5..6.0).contains(&cost), "cost {cost}");
+    }
+
+    #[test]
+    fn annealing_improves_cost() {
+        let circuit = small_circuit();
+        let problem = FloorplanProblem::new(
+            &circuit,
+            Um(30),
+            Weights::area_wire(),
+            None::<FixedGridModel>,
+        );
+        let initial_cost = problem.cost(&problem.initial_state());
+        let result = Annealer::new(Schedule::quick()).run(&problem, 11);
+        assert!(
+            result.best_cost < initial_cost,
+            "best {} vs initial {initial_cost}",
+            result.best_cost
+        );
+        let eval = problem.evaluate(&result.best);
+        assert!(eval.placement.check_consistency().is_none());
+    }
+
+    #[test]
+    fn gamma_zero_skips_congestion_in_cost_but_reports_it() {
+        let circuit = small_circuit();
+        let problem = FloorplanProblem::new(
+            &circuit,
+            Um(30),
+            Weights::area_wire(),
+            Some(IrregularGridModel::new(Um(30))),
+        );
+        let expr = problem.initial_state();
+        let eval = problem.evaluate(&expr);
+        // evaluate() reports congestion even when γ = 0...
+        assert!(eval.congestion > 0.0);
+        // ...but the annealing cost ignores it.
+        let (area, wire, _) = (eval.area_um2, eval.wirelength_um, eval.congestion);
+        let expected = problem.combine(area, wire, 0.0);
+        let cost = problem.cost(&expr);
+        assert!((cost - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let circuit = small_circuit();
+        let problem = FloorplanProblem::new(
+            &circuit,
+            Um(30),
+            Weights::balanced(),
+            Some(IrregularGridModel::new(Um(30))),
+        );
+        let annealer = Annealer::new(Schedule::quick());
+        let a = annealer.run(&problem, 5);
+        let b = annealer.run(&problem, 5);
+        assert_eq!(a.best, b.best);
+        assert_eq!(a.best_cost, b.best_cost);
+    }
+
+    #[test]
+    fn single_module_circuit_is_stable() {
+        let circuit = Circuit::new(
+            "one",
+            vec![irgrid_netlist::Module::new("m", Um(100), Um(50)).expect("valid")],
+            vec![],
+        )
+        .expect("valid");
+        let problem =
+            FloorplanProblem::new(&circuit, Um(30), Weights::balanced(), None::<FixedGridModel>);
+        let result = Annealer::new(Schedule::quick()).run(&problem, 1);
+        let eval = problem.evaluate(&result.best);
+        assert_eq!(eval.area_um2, 5000.0);
+        assert_eq!(eval.wirelength_um, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_weights_rejected() {
+        let circuit = small_circuit();
+        let _ = FloorplanProblem::new(
+            &circuit,
+            Um(30),
+            Weights {
+                area: -1.0,
+                wire: 1.0,
+                congestion: 1.0,
+            },
+            None::<FixedGridModel>,
+        );
+    }
+
+    #[test]
+    fn sequence_pair_representation_anneals() {
+        use irgrid_floorplan::SequencePair;
+        let circuit = small_circuit();
+        let problem: FloorplanProblem<'_, IrregularGridModel, SequencePair> =
+            FloorplanProblem::with_representation(
+                &circuit,
+                Um(30),
+                Weights::balanced(),
+                Some(IrregularGridModel::new(Um(30))),
+            );
+        let initial = problem.cost(&<SequencePair as irgrid_floorplan::FloorplanRepr>::initial(
+            circuit.modules().len(),
+        ));
+        let result = Annealer::new(Schedule::quick()).run(&problem, 9);
+        assert!(result.best_cost <= initial);
+        let eval = problem.evaluate(&result.best);
+        assert!(eval.placement.check_consistency().is_none());
+        assert!(eval.area_um2 >= circuit.total_module_area().as_f64());
+    }
+
+    #[test]
+    fn representations_share_the_cost_definition() {
+        use irgrid_floorplan::SequencePair;
+        // The same placement scored through either problem type must give
+        // comparable magnitudes: both are normalized to ~weight-sum.
+        let circuit = small_circuit();
+        let slicing = FloorplanProblem::new(
+            &circuit,
+            Um(30),
+            Weights::balanced(),
+            Some(IrregularGridModel::new(Um(30))),
+        );
+        let seqpair: FloorplanProblem<'_, IrregularGridModel, SequencePair> =
+            FloorplanProblem::with_representation(
+                &circuit,
+                Um(30),
+                Weights::balanced(),
+                Some(IrregularGridModel::new(Um(30))),
+            );
+        let a = slicing.cost(&slicing.initial_state());
+        let b = seqpair.cost(&seqpair.initial_state());
+        assert!((0.3..8.0).contains(&a), "slicing cost {a}");
+        assert!((0.3..8.0).contains(&b), "sequence-pair cost {b}");
+    }
+}

@@ -1,0 +1,200 @@
+//! A validated circuit: modules plus nets.
+
+use std::fmt;
+
+use irgrid_geom::UmArea;
+use serde::{Deserialize, Serialize};
+
+use crate::{BuildCircuitError, Module, ModuleId, Net, NetId};
+
+/// A validated circuit: a set of hard modules and the multi-pin nets
+/// connecting them.
+///
+/// Invariants established at construction and relied on downstream:
+///
+/// * at least one module; every module has positive dimensions;
+/// * every net references only in-range module ids and at least two
+///   distinct modules.
+///
+/// # Examples
+///
+/// ```
+/// use irgrid_geom::Um;
+/// use irgrid_netlist::{Circuit, Module, ModuleId, Net};
+///
+/// let circuit = Circuit::new(
+///     "tiny",
+///     vec![
+///         Module::new("a", Um(100), Um(100))?,
+///         Module::new("b", Um(50), Um(200))?,
+///     ],
+///     vec![Net::new("ab", vec![ModuleId(0), ModuleId(1)])?],
+/// )?;
+/// assert_eq!(circuit.total_module_area().0, 100 * 100 + 50 * 200);
+/// # Ok::<(), irgrid_netlist::BuildCircuitError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Circuit {
+    name: String,
+    modules: Vec<Module>,
+    nets: Vec<Net>,
+}
+
+impl Circuit {
+    /// Creates a circuit, validating all cross-references.
+    ///
+    /// # Errors
+    ///
+    /// * [`BuildCircuitError::NoModules`] if `modules` is empty.
+    /// * [`BuildCircuitError::DanglingPin`] if a net references a module id
+    ///   `>= modules.len()`.
+    pub fn new(
+        name: impl Into<String>,
+        modules: Vec<Module>,
+        nets: Vec<Net>,
+    ) -> Result<Circuit, BuildCircuitError> {
+        if modules.is_empty() {
+            return Err(BuildCircuitError::NoModules);
+        }
+        for (i, net) in nets.iter().enumerate() {
+            for &pin in net.pins() {
+                if pin.index() >= modules.len() {
+                    return Err(BuildCircuitError::DanglingPin {
+                        net: NetId(i as u32),
+                        module: pin,
+                        module_count: modules.len(),
+                    });
+                }
+            }
+        }
+        Ok(Circuit {
+            name: name.into(),
+            modules,
+            nets,
+        })
+    }
+
+    /// Circuit name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// All modules, indexable by [`ModuleId::index`].
+    #[must_use]
+    pub fn modules(&self) -> &[Module] {
+        &self.modules
+    }
+
+    /// All nets, indexable by [`NetId::index`].
+    #[must_use]
+    pub fn nets(&self) -> &[Net] {
+        &self.nets
+    }
+
+    /// The module with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range (cannot happen for ids obtained from
+    /// this circuit).
+    #[must_use]
+    pub fn module(&self, id: ModuleId) -> &Module {
+        &self.modules[id.index()]
+    }
+
+    /// The net with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[must_use]
+    pub fn net(&self, id: NetId) -> &Net {
+        &self.nets[id.index()]
+    }
+
+    /// Iterator over `(ModuleId, &Module)` pairs.
+    pub fn modules_with_ids(&self) -> impl Iterator<Item = (ModuleId, &Module)> {
+        self.modules
+            .iter()
+            .enumerate()
+            .map(|(i, m)| (ModuleId(i as u32), m))
+    }
+
+    /// Iterator over `(NetId, &Net)` pairs.
+    pub fn nets_with_ids(&self) -> impl Iterator<Item = (NetId, &Net)> {
+        self.nets
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (NetId(i as u32), n))
+    }
+
+    /// Sum of all module areas (a lower bound on any packing's area).
+    #[must_use]
+    pub fn total_module_area(&self) -> UmArea {
+        self.modules.iter().map(Module::area).sum()
+    }
+
+    /// Total number of pins over all nets.
+    #[must_use]
+    pub fn pin_count(&self) -> usize {
+        self.nets.iter().map(Net::degree).sum()
+    }
+}
+
+impl fmt::Display for Circuit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} modules, {} nets, {} pins",
+            self.name,
+            self.modules.len(),
+            self.nets.len(),
+            self.pin_count()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use irgrid_geom::Um;
+
+    fn modules(n: u32) -> Vec<Module> {
+        (0..n)
+            .map(|i| Module::new(format!("m{i}"), Um(10 + i64::from(i)), Um(10)).expect("valid"))
+            .collect()
+    }
+
+    #[test]
+    fn new_validates_pin_references() {
+        let nets = vec![Net::new("bad", vec![ModuleId(0), ModuleId(9)]).expect("valid net")];
+        let err = Circuit::new("c", modules(2), nets).expect_err("dangling pin");
+        assert!(matches!(err, BuildCircuitError::DanglingPin { .. }));
+    }
+
+    #[test]
+    fn new_rejects_empty_module_list() {
+        let err = Circuit::new("c", vec![], vec![]).expect_err("no modules");
+        assert_eq!(err, BuildCircuitError::NoModules);
+    }
+
+    #[test]
+    fn accessors_and_stats() {
+        let nets = vec![
+            Net::new("n0", vec![ModuleId(0), ModuleId(1)]).expect("valid"),
+            Net::new("n1", vec![ModuleId(0), ModuleId(1), ModuleId(2)]).expect("valid"),
+        ];
+        let c = Circuit::new("c", modules(3), nets).expect("valid circuit");
+        assert_eq!(c.pin_count(), 5);
+        assert_eq!(c.module(ModuleId(1)).name(), "m1");
+        assert_eq!(c.net(NetId(1)).degree(), 3);
+        assert_eq!(c.modules_with_ids().count(), 3);
+        assert_eq!(c.nets_with_ids().count(), 2);
+        assert_eq!(
+            c.total_module_area(),
+            Um(10) * Um(10) + Um(11) * Um(10) + Um(12) * Um(10)
+        );
+        assert_eq!(c.to_string(), "c: 3 modules, 2 nets, 5 pins");
+    }
+}

@@ -1,0 +1,98 @@
+//! Circuit construction errors.
+
+use std::error::Error;
+use std::fmt;
+
+use irgrid_geom::Um;
+
+use crate::{ModuleId, NetId};
+
+/// Error building a [`Circuit`](crate::Circuit) or one of its parts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum BuildCircuitError {
+    /// A module had a non-positive width or height.
+    EmptyModule {
+        /// Offending module name.
+        name: String,
+        /// Requested width.
+        width: Um,
+        /// Requested height.
+        height: Um,
+    },
+    /// A net connected fewer than two distinct modules.
+    DegenerateNet {
+        /// Offending net name.
+        name: String,
+        /// Number of distinct modules after dedup.
+        distinct_pins: usize,
+    },
+    /// A net referenced a module id outside the circuit.
+    DanglingPin {
+        /// The net with the bad reference.
+        net: NetId,
+        /// The out-of-range module id.
+        module: ModuleId,
+        /// Number of modules in the circuit.
+        module_count: usize,
+    },
+    /// The circuit had no modules at all.
+    NoModules,
+}
+
+impl fmt::Display for BuildCircuitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildCircuitError::EmptyModule {
+                name,
+                width,
+                height,
+            } => write!(
+                f,
+                "module `{name}` has non-positive dimensions {width} x {height}"
+            ),
+            BuildCircuitError::DegenerateNet {
+                name,
+                distinct_pins,
+            } => write!(
+                f,
+                "net `{name}` connects {distinct_pins} distinct module(s), need at least 2"
+            ),
+            BuildCircuitError::DanglingPin {
+                net,
+                module,
+                module_count,
+            } => write!(
+                f,
+                "net {net} references module {module} but the circuit has only {module_count} modules"
+            ),
+            BuildCircuitError::NoModules => write!(f, "circuit has no modules"),
+        }
+    }
+}
+
+impl Error for BuildCircuitError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_lowercase_and_specific() {
+        let e = BuildCircuitError::DanglingPin {
+            net: NetId(4),
+            module: ModuleId(99),
+            module_count: 10,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("N4"));
+        assert!(msg.contains("M99"));
+        assert!(msg.contains("10"));
+    }
+
+    #[test]
+    fn implements_std_error() {
+        fn assert_error<E: Error + Send + Sync + 'static>() {}
+        assert_error::<BuildCircuitError>();
+    }
+}

@@ -1,0 +1,348 @@
+//! Parameterized synthetic circuit generation.
+//!
+//! The generator produces deterministic circuits from a seed, with
+//! controllable module count, net count, total module area, module aspect
+//! ratios, area spread, and net fan-out distribution. It backs the
+//! MCNC-like benchmark suite ([`crate::mcnc`]) and the scaling sweeps in the
+//! bench harness.
+
+use irgrid_geom::Um;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use crate::{BuildCircuitError, Circuit, Module, ModuleId, Net};
+
+/// Builder for deterministic synthetic circuits.
+///
+/// # Examples
+///
+/// ```
+/// use irgrid_netlist::generator::CircuitGenerator;
+///
+/// let circuit = CircuitGenerator::new("demo", 12, 30)
+///     .total_area_um2(4.0e6)
+///     .seed(7)
+///     .generate()?;
+/// assert_eq!(circuit.modules().len(), 12);
+/// assert_eq!(circuit.nets().len(), 30);
+/// // Deterministic: the same parameters always give the same circuit.
+/// let again = CircuitGenerator::new("demo", 12, 30)
+///     .total_area_um2(4.0e6)
+///     .seed(7)
+///     .generate()?;
+/// assert_eq!(circuit, again);
+/// # Ok::<(), irgrid_netlist::BuildCircuitError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct CircuitGenerator {
+    name: String,
+    module_count: usize,
+    net_count: usize,
+    total_area_um2: f64,
+    aspect_ratio_range: (f64, f64),
+    area_sigma: f64,
+    degree_weights: Vec<(usize, f64)>,
+    locality_window: usize,
+    seed: u64,
+}
+
+impl CircuitGenerator {
+    /// Creates a generator for a circuit with the given module and net
+    /// counts. Defaults: 1 mm² total area, aspect ratios in [1/3, 3],
+    /// lognormal area spread σ = 0.6, fan-out distribution 60 % 2-pin /
+    /// 20 % 3-pin / 12 % 4-pin / 8 % 5-pin, locality window = module count
+    /// (no locality bias), seed 0.
+    #[must_use]
+    pub fn new(name: impl Into<String>, module_count: usize, net_count: usize) -> Self {
+        CircuitGenerator {
+            name: name.into(),
+            module_count,
+            net_count,
+            total_area_um2: 1.0e6,
+            aspect_ratio_range: (1.0 / 3.0, 3.0),
+            area_sigma: 0.6,
+            degree_weights: vec![(2, 0.60), (3, 0.20), (4, 0.12), (5, 0.08)],
+            locality_window: module_count,
+            seed: 0,
+        }
+    }
+
+    /// Sets the target total module area in µm². The sampled module areas
+    /// are rescaled so their sum matches this within rounding.
+    #[must_use]
+    pub fn total_area_um2(mut self, area: f64) -> Self {
+        self.total_area_um2 = area;
+        self
+    }
+
+    /// Sets the allowed module aspect-ratio range (width / height).
+    #[must_use]
+    pub fn aspect_ratio_range(mut self, lo: f64, hi: f64) -> Self {
+        self.aspect_ratio_range = (lo, hi);
+        self
+    }
+
+    /// Sets the lognormal σ of the module area distribution (0 = all
+    /// modules equal-area).
+    #[must_use]
+    pub fn area_sigma(mut self, sigma: f64) -> Self {
+        self.area_sigma = sigma;
+        self
+    }
+
+    /// Sets the net fan-out distribution as `(degree, weight)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any degree is < 2 or the weights are all zero.
+    #[must_use]
+    pub fn degree_weights(mut self, weights: Vec<(usize, f64)>) -> Self {
+        assert!(
+            weights.iter().all(|&(d, _)| d >= 2),
+            "net degrees must be at least 2"
+        );
+        assert!(
+            weights.iter().map(|&(_, w)| w).sum::<f64>() > 0.0,
+            "degree weights must not all be zero"
+        );
+        self.degree_weights = weights;
+        self
+    }
+
+    /// Sets the locality window: net members are drawn from a window of
+    /// this many module ids around a randomly chosen anchor. Smaller
+    /// windows give more local (less congesting) netlists.
+    #[must_use]
+    pub fn locality_window(mut self, window: usize) -> Self {
+        self.locality_window = window.max(2);
+        self
+    }
+
+    /// Sets the RNG seed. Same seed + same parameters = same circuit.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Generates the circuit.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the parameters are degenerate (zero modules, or
+    /// nets cannot find two distinct members — impossible for
+    /// `module_count >= 2`).
+    pub fn generate(&self) -> Result<Circuit, BuildCircuitError> {
+        if self.module_count == 0 {
+            return Err(BuildCircuitError::NoModules);
+        }
+        if self.module_count < 2 && self.net_count > 0 {
+            // A net needs two distinct modules; with one module every
+            // net is degenerate.
+            return Err(BuildCircuitError::DegenerateNet {
+                name: format!("{}_n0", self.name),
+                distinct_pins: 1,
+            });
+        }
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
+        let modules = self.generate_modules(&mut rng)?;
+        let nets = self.generate_nets(&mut rng)?;
+        Circuit::new(self.name.clone(), modules, nets)
+    }
+
+    fn generate_modules(&self, rng: &mut ChaCha8Rng) -> Result<Vec<Module>, BuildCircuitError> {
+        // Sample relative areas from a lognormal, then rescale to the
+        // target total.
+        let mut rel: Vec<f64> = (0..self.module_count)
+            .map(|_| (self.area_sigma * standard_normal(rng)).exp())
+            .collect();
+        let sum: f64 = rel.iter().sum();
+        for r in &mut rel {
+            *r *= self.total_area_um2 / sum;
+        }
+
+        let (ar_lo, ar_hi) = self.aspect_ratio_range;
+        rel.iter()
+            .enumerate()
+            .map(|(i, &area)| {
+                // Sample aspect ratio log-uniformly so 1/2 and 2 are
+                // equally likely.
+                let ar = (rng.gen_range(ar_lo.ln()..=ar_hi.ln())).exp();
+                let w = (area * ar).sqrt().round().max(1.0) as i64;
+                let h = (area / w as f64).round().max(1.0) as i64;
+                Module::new(format!("{}_{i}", self.name), Um(w), Um(h))
+            })
+            .collect()
+    }
+
+    fn generate_nets(&self, rng: &mut ChaCha8Rng) -> Result<Vec<Net>, BuildCircuitError> {
+        let total_weight: f64 = self.degree_weights.iter().map(|&(_, w)| w).sum();
+        (0..self.net_count)
+            .map(|i| {
+                let mut pick = rng.gen_range(0.0..total_weight);
+                let mut degree = self.degree_weights[0].0;
+                for &(d, w) in &self.degree_weights {
+                    if pick < w {
+                        degree = d;
+                        break;
+                    }
+                    pick -= w;
+                }
+                let degree = degree.min(self.module_count);
+                let members = self.pick_members(rng, degree.max(2));
+                Net::new(format!("{}_n{i}", self.name), members)
+            })
+            .collect()
+    }
+
+    fn pick_members(&self, rng: &mut ChaCha8Rng, degree: usize) -> Vec<ModuleId> {
+        let n = self.module_count;
+        debug_assert!(n >= 2, "generate() rejects net generation with fewer than 2 modules");
+        let window = self.locality_window.min(n);
+        let anchor = rng.gen_range(0..n);
+        let lo = anchor.saturating_sub(window / 2);
+        let hi = (lo + window).min(n);
+        let lo = hi.saturating_sub(window);
+        let mut members = vec![ModuleId(anchor as u32)];
+        // Rejection-sample distinct members from the window; fall back to
+        // the full id range if the window is too small to supply enough
+        // distinct modules.
+        let mut attempts = 0;
+        while members.len() < degree {
+            let range = if attempts < 8 * degree { lo..hi } else { 0..n };
+            let candidate = ModuleId(rng.gen_range(range) as u32);
+            if !members.contains(&candidate) {
+                members.push(candidate);
+            }
+            attempts += 1;
+        }
+        members
+    }
+}
+
+/// Standard-normal sample via Box–Muller (rand itself ships no Gaussian).
+fn standard_normal<R: Rng>(rng: &mut R) -> f64 {
+    loop {
+        let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        if z.is_finite() {
+            return z;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let a = CircuitGenerator::new("d", 20, 50).seed(42).generate().expect("gen");
+        let b = CircuitGenerator::new("d", 20, 50).seed(42).generate().expect("gen");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = CircuitGenerator::new("d", 20, 50).seed(1).generate().expect("gen");
+        let b = CircuitGenerator::new("d", 20, 50).seed(2).generate().expect("gen");
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn total_area_close_to_target() {
+        let target = 5.0e6;
+        let c = CircuitGenerator::new("d", 30, 10)
+            .total_area_um2(target)
+            .seed(3)
+            .generate()
+            .expect("gen");
+        let actual = c.total_module_area().0 as f64;
+        // Integer rounding of 30 module dimensions stays well within 1%.
+        assert!(
+            (actual - target).abs() / target < 0.01,
+            "actual {actual} vs target {target}"
+        );
+    }
+
+    #[test]
+    fn aspect_ratios_respected() {
+        let c = CircuitGenerator::new("d", 50, 0)
+            .aspect_ratio_range(0.5, 2.0)
+            .total_area_um2(1e8)
+            .seed(4)
+            .generate()
+            .expect("gen");
+        for m in c.modules() {
+            let ar = m.width().as_f64() / m.height().as_f64();
+            // Allow slack for integer rounding.
+            assert!((0.4..=2.5).contains(&ar), "aspect ratio {ar} out of range");
+        }
+    }
+
+    #[test]
+    fn nets_have_declared_degrees() {
+        let c = CircuitGenerator::new("d", 40, 200)
+            .degree_weights(vec![(3, 1.0)])
+            .seed(5)
+            .generate()
+            .expect("gen");
+        assert!(c.nets().iter().all(|n| n.degree() == 3));
+    }
+
+    #[test]
+    fn degree_clamped_to_module_count() {
+        let c = CircuitGenerator::new("d", 2, 10)
+            .degree_weights(vec![(5, 1.0)])
+            .seed(6)
+            .generate()
+            .expect("gen");
+        assert!(c.nets().iter().all(|n| n.degree() == 2));
+    }
+
+    #[test]
+    fn locality_window_limits_span() {
+        let c = CircuitGenerator::new("d", 100, 300)
+            .locality_window(10)
+            .seed(7)
+            .generate()
+            .expect("gen");
+        // Most nets should span a small id range; allow the documented
+        // fallback to widen a few.
+        let local = c
+            .nets()
+            .iter()
+            .filter(|n| {
+                let ids: Vec<u32> = n.pins().iter().map(|p| p.0).collect();
+                ids.iter().max().unwrap() - ids.iter().min().unwrap() <= 10
+            })
+            .count();
+        assert!(local * 10 >= c.nets().len() * 9, "{local} of {} nets local", c.nets().len());
+    }
+
+    #[test]
+    fn zero_modules_is_an_error() {
+        assert!(CircuitGenerator::new("d", 0, 0).generate().is_err());
+    }
+
+    #[test]
+    fn one_module_with_nets_is_an_error() {
+        // Regression: this used to hang in member rejection sampling.
+        let err = CircuitGenerator::new("d", 1, 3).generate().expect_err("degenerate");
+        assert!(matches!(err, BuildCircuitError::DegenerateNet { .. }));
+        // One module with no nets is fine.
+        assert!(CircuitGenerator::new("d", 1, 0).generate().is_ok());
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| standard_normal(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "variance {var}");
+    }
+}

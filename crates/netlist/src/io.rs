@@ -1,0 +1,362 @@
+//! A plain-text circuit interchange format.
+//!
+//! The MCNC block-level benchmarks came as YAL files; this module
+//! provides a minimal, line-oriented equivalent so circuits can be
+//! stored, diffed, and shared without this library:
+//!
+//! ```text
+//! # anything after '#' is a comment
+//! circuit ami33
+//! module cpu 400 300        # name, width um, height um
+//! module cache 250 250
+//! net cpu_cache cpu cache   # name, then member module names
+//! ```
+//!
+//! One `circuit` line (first non-comment line), then any number of
+//! `module` lines, then `net` lines referencing earlier module names.
+//!
+//! # Examples
+//!
+//! ```
+//! use irgrid_netlist::io;
+//! use irgrid_netlist::mcnc::McncCircuit;
+//!
+//! let circuit = McncCircuit::Hp.circuit();
+//! let text = io::to_text(&circuit);
+//! let parsed = io::from_text(&text)?;
+//! assert_eq!(circuit, parsed);
+//! # Ok::<(), irgrid_netlist::io::ParseCircuitError>(())
+//! ```
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use irgrid_geom::Um;
+
+use crate::{BuildCircuitError, Circuit, Module, ModuleId, Net};
+
+/// Error parsing the text circuit format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseCircuitError {
+    /// 1-based line number of the offending line (0 for file-level
+    /// errors).
+    pub line: usize,
+    /// What went wrong.
+    pub kind: ParseErrorKind,
+}
+
+/// The kinds of [`ParseCircuitError`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ParseErrorKind {
+    /// The first statement was not `circuit <name>`.
+    MissingCircuitHeader,
+    /// A line began with an unknown keyword.
+    UnknownKeyword(String),
+    /// A statement had the wrong number of tokens.
+    WrongArity {
+        /// The keyword of the statement.
+        keyword: &'static str,
+        /// Tokens found (excluding the keyword).
+        found: usize,
+    },
+    /// A dimension failed to parse as a positive integer.
+    BadDimension(String),
+    /// Two modules share a name.
+    DuplicateModule(String),
+    /// A net referenced a module name that was never declared.
+    UnknownModule(String),
+    /// A `module` line appeared after the first `net` line.
+    ModuleAfterNet,
+    /// The assembled circuit failed semantic validation.
+    Invalid(BuildCircuitError),
+}
+
+impl fmt::Display for ParseCircuitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: ", self.line)?;
+        match &self.kind {
+            ParseErrorKind::MissingCircuitHeader => {
+                write!(f, "expected `circuit <name>` as the first statement")
+            }
+            ParseErrorKind::UnknownKeyword(kw) => write!(f, "unknown keyword `{kw}`"),
+            ParseErrorKind::WrongArity { keyword, found } => {
+                write!(f, "`{keyword}` statement has {found} argument(s)")
+            }
+            ParseErrorKind::BadDimension(tok) => {
+                write!(f, "`{tok}` is not a positive integer dimension")
+            }
+            ParseErrorKind::DuplicateModule(name) => {
+                write!(f, "module `{name}` declared twice")
+            }
+            ParseErrorKind::UnknownModule(name) => {
+                write!(f, "net references undeclared module `{name}`")
+            }
+            ParseErrorKind::ModuleAfterNet => {
+                write!(f, "module declarations must precede net declarations")
+            }
+            ParseErrorKind::Invalid(e) => write!(f, "invalid circuit: {e}"),
+        }
+    }
+}
+
+impl Error for ParseCircuitError {}
+
+/// Serializes a circuit to the text format.
+#[must_use]
+pub fn to_text(circuit: &Circuit) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("circuit {}\n", circuit.name()));
+    for module in circuit.modules() {
+        out.push_str(&format!(
+            "module {} {} {}\n",
+            module.name(),
+            module.width().0,
+            module.height().0
+        ));
+    }
+    for net in circuit.nets() {
+        out.push_str(&format!("net {}", net.name()));
+        for &pin in net.pins() {
+            out.push(' ');
+            out.push_str(circuit.module(pin).name());
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Writes a circuit to a file in the text format.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the filesystem.
+pub fn write_file(circuit: &Circuit, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+    std::fs::write(path, to_text(circuit))
+}
+
+/// Reads a circuit from a text-format file.
+///
+/// # Errors
+///
+/// Returns an I/O error wrapped as `InvalidData` for parse failures, so
+/// callers can use one error type for both failure classes.
+pub fn read_file(path: impl AsRef<std::path::Path>) -> std::io::Result<Circuit> {
+    let text = std::fs::read_to_string(path)?;
+    from_text(&text).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+}
+
+/// Parses a circuit from the text format.
+///
+/// # Errors
+///
+/// Returns a [`ParseCircuitError`] with the offending line number for any
+/// syntactic or semantic problem; see [`ParseErrorKind`].
+pub fn from_text(text: &str) -> Result<Circuit, ParseCircuitError> {
+    let mut name: Option<String> = None;
+    let mut modules: Vec<Module> = Vec::new();
+    let mut ids: HashMap<String, ModuleId> = HashMap::new();
+    let mut nets: Vec<Net> = Vec::new();
+
+    for (i, raw) in text.lines().enumerate() {
+        let line_no = i + 1;
+        let err = |kind| ParseCircuitError { line: line_no, kind };
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let tokens: Vec<&str> = line.split_whitespace().collect();
+        match tokens[0] {
+            "circuit" => {
+                if tokens.len() != 2 {
+                    return Err(err(ParseErrorKind::WrongArity {
+                        keyword: "circuit",
+                        found: tokens.len() - 1,
+                    }));
+                }
+                if name.is_some() {
+                    return Err(err(ParseErrorKind::UnknownKeyword("circuit".into())));
+                }
+                name = Some(tokens[1].to_string());
+            }
+            "module" => {
+                if name.is_none() {
+                    return Err(err(ParseErrorKind::MissingCircuitHeader));
+                }
+                if !nets.is_empty() {
+                    return Err(err(ParseErrorKind::ModuleAfterNet));
+                }
+                if tokens.len() != 4 {
+                    return Err(err(ParseErrorKind::WrongArity {
+                        keyword: "module",
+                        found: tokens.len() - 1,
+                    }));
+                }
+                let parse_dim = |tok: &str| -> Result<Um, ParseCircuitError> {
+                    tok.parse::<i64>()
+                        .ok()
+                        .filter(|&v| v > 0)
+                        .map(Um)
+                        .ok_or_else(|| err(ParseErrorKind::BadDimension(tok.to_string())))
+                };
+                let module_name = tokens[1].to_string();
+                if ids.contains_key(&module_name) {
+                    return Err(err(ParseErrorKind::DuplicateModule(module_name)));
+                }
+                let module = Module::new(&module_name, parse_dim(tokens[2])?, parse_dim(tokens[3])?)
+                    .map_err(|e| err(ParseErrorKind::Invalid(e)))?;
+                ids.insert(module_name, ModuleId(modules.len() as u32));
+                modules.push(module);
+            }
+            "net" => {
+                if name.is_none() {
+                    return Err(err(ParseErrorKind::MissingCircuitHeader));
+                }
+                if tokens.len() < 4 {
+                    return Err(err(ParseErrorKind::WrongArity {
+                        keyword: "net",
+                        found: tokens.len() - 1,
+                    }));
+                }
+                let members: Vec<ModuleId> = tokens[2..]
+                    .iter()
+                    .map(|&tok| {
+                        ids.get(tok)
+                            .copied()
+                            .ok_or_else(|| err(ParseErrorKind::UnknownModule(tok.to_string())))
+                    })
+                    .collect::<Result<_, _>>()?;
+                let net = Net::new(tokens[1], members)
+                    .map_err(|e| err(ParseErrorKind::Invalid(e)))?;
+                nets.push(net);
+            }
+            other => {
+                if name.is_none() {
+                    return Err(err(ParseErrorKind::MissingCircuitHeader));
+                }
+                return Err(err(ParseErrorKind::UnknownKeyword(other.to_string())));
+            }
+        }
+    }
+
+    let name = name.ok_or(ParseCircuitError {
+        line: 0,
+        kind: ParseErrorKind::MissingCircuitHeader,
+    })?;
+    Circuit::new(name, modules, nets).map_err(|e| ParseCircuitError {
+        line: 0,
+        kind: ParseErrorKind::Invalid(e),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mcnc::McncCircuit;
+
+    #[test]
+    fn roundtrip_all_benchmarks() {
+        for bench in McncCircuit::ALL {
+            let circuit = bench.circuit();
+            let parsed = from_text(&to_text(&circuit)).expect("roundtrip");
+            assert_eq!(circuit, parsed, "{bench}");
+        }
+    }
+
+    #[test]
+    fn parses_comments_and_blank_lines() {
+        let text = "\n# header comment\ncircuit c # trailing\n\nmodule a 10 20\nmodule b 5 5 # square\nnet n a b\n";
+        let c = from_text(text).expect("valid");
+        assert_eq!(c.name(), "c");
+        assert_eq!(c.modules().len(), 2);
+        assert_eq!(c.nets().len(), 1);
+    }
+
+    #[test]
+    fn missing_header() {
+        let e = from_text("module a 10 20\n").expect_err("no header");
+        assert_eq!(e.line, 1);
+        assert_eq!(e.kind, ParseErrorKind::MissingCircuitHeader);
+        let e = from_text("# only comments\n").expect_err("empty");
+        assert_eq!(e.line, 0);
+    }
+
+    #[test]
+    fn bad_dimension_reports_line() {
+        let e = from_text("circuit c\nmodule a ten 20\n").expect_err("bad dim");
+        assert_eq!(e.line, 2);
+        assert_eq!(e.kind, ParseErrorKind::BadDimension("ten".into()));
+        let e = from_text("circuit c\nmodule a -3 20\n").expect_err("negative dim");
+        assert_eq!(e.kind, ParseErrorKind::BadDimension("-3".into()));
+    }
+
+    #[test]
+    fn duplicate_module_rejected() {
+        let e = from_text("circuit c\nmodule a 1 1\nmodule a 2 2\n").expect_err("dup");
+        assert_eq!(e.line, 3);
+        assert_eq!(e.kind, ParseErrorKind::DuplicateModule("a".into()));
+    }
+
+    #[test]
+    fn unknown_module_in_net() {
+        let e = from_text("circuit c\nmodule a 1 1\nnet n a ghost\n").expect_err("ghost");
+        assert_eq!(e.line, 3);
+        assert_eq!(e.kind, ParseErrorKind::UnknownModule("ghost".into()));
+    }
+
+    #[test]
+    fn module_after_net_rejected() {
+        let text = "circuit c\nmodule a 1 1\nmodule b 1 1\nnet n a b\nmodule z 1 1\n";
+        let e = from_text(text).expect_err("late module");
+        assert_eq!(e.line, 5);
+        assert_eq!(e.kind, ParseErrorKind::ModuleAfterNet);
+    }
+
+    #[test]
+    fn net_arity() {
+        let e = from_text("circuit c\nmodule a 1 1\nnet n a\n").expect_err("1-pin net");
+        assert!(matches!(e.kind, ParseErrorKind::WrongArity { keyword: "net", .. }));
+    }
+
+    #[test]
+    fn degenerate_net_is_semantic_error() {
+        // Two tokens referencing the same module dedupe to one pin.
+        let e = from_text("circuit c\nmodule a 1 1\nnet n a a\n").expect_err("self net");
+        assert!(matches!(e.kind, ParseErrorKind::Invalid(_)));
+        assert_eq!(e.line, 3);
+    }
+
+    #[test]
+    fn unknown_keyword() {
+        let e = from_text("circuit c\nblock a 1 1\n").expect_err("keyword");
+        assert_eq!(e.kind, ParseErrorKind::UnknownKeyword("block".into()));
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let circuit = McncCircuit::Apte.circuit();
+        let path = std::env::temp_dir().join("irgrid_io_roundtrip_test.circuit");
+        write_file(&circuit, &path).expect("write");
+        let parsed = read_file(&path).expect("read");
+        assert_eq!(circuit, parsed);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn read_file_wraps_parse_errors() {
+        let path = std::env::temp_dir().join("irgrid_io_bad_test.circuit");
+        std::fs::write(&path, "module before header 1 1\n").expect("write");
+        let err = read_file(&path).expect_err("parse failure");
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn error_messages_carry_context() {
+        let e = from_text("circuit c\nmodule a ten 20\n").expect_err("bad dim");
+        let msg = e.to_string();
+        assert!(msg.contains("line 2"), "{msg}");
+        assert!(msg.contains("ten"), "{msg}");
+    }
+}

@@ -1,0 +1,39 @@
+//! Circuit description for the `irgrid` workspace: modules, multi-pin nets,
+//! benchmark circuits, and the minimum-spanning-tree decomposition of
+//! multi-pin nets into the 2-pin nets the congestion model consumes.
+//!
+//! The DATE 2004 paper evaluates on five MCNC block-level benchmarks
+//! (apte, xerox, hp, ami33, ami49). The original MCNC files are not
+//! redistributable with this repository, so [`mcnc`] provides deterministic
+//! *synthetic stand-ins* with the published module counts, net counts, and
+//! total module areas — see `DESIGN.md` for the substitution rationale.
+//!
+//! # Examples
+//!
+//! ```
+//! use irgrid_netlist::{mcnc::McncCircuit, Circuit};
+//!
+//! let ami33: Circuit = McncCircuit::Ami33.circuit();
+//! assert_eq!(ami33.modules().len(), 33);
+//! assert_eq!(ami33.nets().len(), 123);
+//! // Total module area matches the published benchmark within 1%.
+//! let mm2 = ami33.total_module_area().as_mm2();
+//! assert!((mm2 - 1.156).abs() / 1.156 < 0.01);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod circuit;
+mod error;
+pub mod generator;
+pub mod io;
+pub mod mcnc;
+mod module;
+pub mod mst;
+mod net;
+
+pub use circuit::Circuit;
+pub use error::BuildCircuitError;
+pub use module::{Module, ModuleId};
+pub use net::{Net, NetId};

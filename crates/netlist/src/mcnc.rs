@@ -1,0 +1,202 @@
+//! Synthetic stand-ins for the five MCNC block-level benchmarks.
+//!
+//! The DATE 2004 paper evaluates on MCNC apte, xerox, hp, ami33 and ami49.
+//! Those netlist files are from a proprietary-era distribution and are not
+//! shipped here; instead each benchmark is regenerated deterministically
+//! with the *published* statistics of the original:
+//!
+//! | circuit | modules | nets | total module area |
+//! |---------|---------|------|-------------------|
+//! | apte    | 9       | 97   | 46.56 mm²         |
+//! | xerox   | 10      | 203  | 19.35 mm²         |
+//! | hp      | 11      | 83   | 8.83 mm²          |
+//! | ami33   | 33      | 123  | 1.16 mm²          |
+//! | ami49   | 49      | 408  | 35.45 mm²         |
+//!
+//! The congestion experiments compare estimation *models* on a common
+//! circuit, so any circuit family with matching size/area/fan-out
+//! statistics exercises the same code paths and preserves the paper's
+//! relative results (see DESIGN.md, "Substitutions").
+
+use crate::generator::CircuitGenerator;
+use crate::Circuit;
+
+/// The five MCNC benchmark identities (synthetic stand-ins).
+///
+/// # Examples
+///
+/// ```
+/// use irgrid_netlist::mcnc::McncCircuit;
+///
+/// for bench in McncCircuit::ALL {
+///     let c = bench.circuit();
+///     assert_eq!(c.modules().len(), bench.module_count());
+///     assert_eq!(c.nets().len(), bench.net_count());
+/// }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum McncCircuit {
+    /// apte: 9 modules, 97 nets, ≈46.56 mm².
+    Apte,
+    /// xerox: 10 modules, 203 nets, ≈19.35 mm².
+    Xerox,
+    /// hp: 11 modules, 83 nets, ≈8.83 mm².
+    Hp,
+    /// ami33: 33 modules, 123 nets, ≈1.16 mm².
+    Ami33,
+    /// ami49: 49 modules, 408 nets, ≈35.45 mm².
+    Ami49,
+}
+
+impl McncCircuit {
+    /// All five benchmarks, in the paper's table order.
+    pub const ALL: [McncCircuit; 5] = [
+        McncCircuit::Apte,
+        McncCircuit::Xerox,
+        McncCircuit::Hp,
+        McncCircuit::Ami33,
+        McncCircuit::Ami49,
+    ];
+
+    /// The benchmark's lowercase name as the paper prints it.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            McncCircuit::Apte => "apte",
+            McncCircuit::Xerox => "xerox",
+            McncCircuit::Hp => "hp",
+            McncCircuit::Ami33 => "ami33",
+            McncCircuit::Ami49 => "ami49",
+        }
+    }
+
+    /// Parses a benchmark name (case-insensitive).
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<McncCircuit> {
+        McncCircuit::ALL
+            .into_iter()
+            .find(|c| c.name().eq_ignore_ascii_case(name))
+    }
+
+    /// Published module count of the original benchmark.
+    #[must_use]
+    pub fn module_count(self) -> usize {
+        match self {
+            McncCircuit::Apte => 9,
+            McncCircuit::Xerox => 10,
+            McncCircuit::Hp => 11,
+            McncCircuit::Ami33 => 33,
+            McncCircuit::Ami49 => 49,
+        }
+    }
+
+    /// Published net count of the original benchmark.
+    #[must_use]
+    pub fn net_count(self) -> usize {
+        match self {
+            McncCircuit::Apte => 97,
+            McncCircuit::Xerox => 203,
+            McncCircuit::Hp => 83,
+            McncCircuit::Ami33 => 123,
+            McncCircuit::Ami49 => 408,
+        }
+    }
+
+    /// Published total module area in µm².
+    #[must_use]
+    pub fn total_area_um2(self) -> f64 {
+        match self {
+            McncCircuit::Apte => 46.5616e6,
+            McncCircuit::Xerox => 19.3503e6,
+            McncCircuit::Hp => 8.8306e6,
+            McncCircuit::Ami33 => 1.1564e6,
+            McncCircuit::Ami49 => 35.4454e6,
+        }
+    }
+
+    /// The grid pitch (µm) the paper uses for this circuit's Irregular-Grid
+    /// runs in Table 2 (60 µm for apte, 30 µm for the rest).
+    #[must_use]
+    pub fn paper_grid_pitch_um(self) -> i64 {
+        match self {
+            McncCircuit::Apte => 60,
+            _ => 30,
+        }
+    }
+
+    /// Builds the deterministic synthetic circuit for this benchmark.
+    ///
+    /// The seed is fixed per benchmark, so every run of every experiment
+    /// sees the identical circuit.
+    #[must_use]
+    pub fn circuit(self) -> Circuit {
+        // Larger designs (ami33/ami49) are cell-like: tighter aspect
+        // ratios and less area spread than the big-macro designs.
+        let (sigma, ar) = match self {
+            McncCircuit::Apte | McncCircuit::Xerox | McncCircuit::Hp => (0.8, (0.25, 4.0)),
+            McncCircuit::Ami33 | McncCircuit::Ami49 => (0.5, (1.0 / 3.0, 3.0)),
+        };
+        CircuitGenerator::new(self.name(), self.module_count(), self.net_count())
+            .total_area_um2(self.total_area_um2())
+            .area_sigma(sigma)
+            .aspect_ratio_range(ar.0, ar.1)
+            .locality_window((self.module_count() / 2).max(4))
+            .seed(0x1234_5678 ^ self as u64)
+            .generate()
+            .expect("benchmark parameters are valid by construction")
+    }
+}
+
+impl std::fmt::Display for McncCircuit {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn published_statistics_hold() {
+        for bench in McncCircuit::ALL {
+            let c = bench.circuit();
+            assert_eq!(c.modules().len(), bench.module_count(), "{bench}");
+            assert_eq!(c.nets().len(), bench.net_count(), "{bench}");
+            let area = c.total_module_area().0 as f64;
+            let target = bench.total_area_um2();
+            assert!(
+                (area - target).abs() / target < 0.01,
+                "{bench}: area {area} vs published {target}"
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_across_calls() {
+        assert_eq!(McncCircuit::Ami33.circuit(), McncCircuit::Ami33.circuit());
+    }
+
+    #[test]
+    fn benchmarks_are_distinct() {
+        assert_ne!(McncCircuit::Apte.circuit(), McncCircuit::Xerox.circuit());
+    }
+
+    #[test]
+    fn name_roundtrip() {
+        for bench in McncCircuit::ALL {
+            assert_eq!(McncCircuit::from_name(bench.name()), Some(bench));
+            assert_eq!(
+                McncCircuit::from_name(&bench.name().to_uppercase()),
+                Some(bench)
+            );
+        }
+        assert_eq!(McncCircuit::from_name("playstation"), None);
+    }
+
+    #[test]
+    fn paper_pitches() {
+        assert_eq!(McncCircuit::Apte.paper_grid_pitch_um(), 60);
+        assert_eq!(McncCircuit::Ami33.paper_grid_pitch_um(), 30);
+    }
+}

@@ -1,0 +1,135 @@
+//! Hard modules (blocks).
+
+use std::fmt;
+
+use irgrid_geom::{Um, UmArea};
+use serde::{Deserialize, Serialize};
+
+/// Index of a module within its [`Circuit`](crate::Circuit).
+///
+/// `ModuleId`s are dense (`0..circuit.modules().len()`), so per-module data
+/// can live in plain vectors indexed by `id.index()`.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct ModuleId(pub u32);
+
+impl ModuleId {
+    /// The id as a vector index.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ModuleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "M{}", self.0)
+    }
+}
+
+/// A hard rectangular module (block) with fixed dimensions.
+///
+/// Modules may be rotated by 90° by the floorplanner but never reshaped.
+///
+/// # Examples
+///
+/// ```
+/// use irgrid_geom::Um;
+/// use irgrid_netlist::Module;
+///
+/// let m = Module::new("alu", Um(400), Um(250))?;
+/// assert_eq!(m.area().0, 100_000);
+/// # Ok::<(), irgrid_netlist::BuildCircuitError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Module {
+    name: String,
+    width: Um,
+    height: Um,
+}
+
+impl Module {
+    /// Creates a module from its name and dimensions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildCircuitError::EmptyModule`](crate::BuildCircuitError)
+    /// if either dimension is not positive — zero-area blocks would make
+    /// packing and pin placement ill-defined.
+    pub fn new(
+        name: impl Into<String>,
+        width: Um,
+        height: Um,
+    ) -> Result<Module, crate::BuildCircuitError> {
+        let name = name.into();
+        if width <= Um::ZERO || height <= Um::ZERO {
+            return Err(crate::BuildCircuitError::EmptyModule {
+                name,
+                width,
+                height,
+            });
+        }
+        Ok(Module {
+            name,
+            width,
+            height,
+        })
+    }
+
+    /// Module name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Width in the un-rotated orientation.
+    #[must_use]
+    pub fn width(&self) -> Um {
+        self.width
+    }
+
+    /// Height in the un-rotated orientation.
+    #[must_use]
+    pub fn height(&self) -> Um {
+        self.height
+    }
+
+    /// Module area (orientation-independent).
+    #[must_use]
+    pub fn area(&self) -> UmArea {
+        self.width * self.height
+    }
+}
+
+impl fmt::Display for Module {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({} x {})", self.name, self.width, self.height)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_accepts_positive_dims() {
+        let m = Module::new("m", Um(10), Um(20)).expect("valid module");
+        assert_eq!(m.name(), "m");
+        assert_eq!(m.area(), Um(10) * Um(20));
+    }
+
+    #[test]
+    fn new_rejects_zero_or_negative_dims() {
+        assert!(Module::new("m", Um(0), Um(20)).is_err());
+        assert!(Module::new("m", Um(10), Um(0)).is_err());
+        assert!(Module::new("m", Um(-1), Um(20)).is_err());
+    }
+
+    #[test]
+    fn display_mentions_dims() {
+        let m = Module::new("alu", Um(3), Um(4)).expect("valid module");
+        assert_eq!(m.to_string(), "alu (3um x 4um)");
+        assert_eq!(ModuleId(7).to_string(), "M7");
+    }
+}

@@ -1,0 +1,128 @@
+//! Multi-pin nets.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::ModuleId;
+
+/// Index of a net within its [`Circuit`](crate::Circuit).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct NetId(pub u32);
+
+impl NetId {
+    /// The id as a vector index.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NetId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "N{}", self.0)
+    }
+}
+
+/// A net connecting two or more distinct modules.
+///
+/// Nets are hypergraph edges over modules; the physical pin locations are
+/// only known once a floorplan places the modules (pin placement lives in
+/// `irgrid-floorplan`). Multi-pin nets are decomposed into 2-pin nets by a
+/// minimum spanning tree ([`crate::mst`]) before congestion estimation, as
+/// in §5 of the paper.
+///
+/// # Examples
+///
+/// ```
+/// use irgrid_netlist::{ModuleId, Net};
+///
+/// let net = Net::new("clk", vec![ModuleId(0), ModuleId(2), ModuleId(5)])?;
+/// assert_eq!(net.pins().len(), 3);
+/// # Ok::<(), irgrid_netlist::BuildCircuitError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Net {
+    name: String,
+    pins: Vec<ModuleId>,
+}
+
+impl Net {
+    /// Creates a net over the given modules.
+    ///
+    /// Duplicate module references are removed (a net touching the same
+    /// block twice routes within the block and contributes nothing to
+    /// inter-block congestion).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildCircuitError::DegenerateNet`](crate::BuildCircuitError)
+    /// if fewer than two *distinct* modules remain.
+    pub fn new(
+        name: impl Into<String>,
+        mut pins: Vec<ModuleId>,
+    ) -> Result<Net, crate::BuildCircuitError> {
+        let name = name.into();
+        pins.sort_unstable();
+        pins.dedup();
+        if pins.len() < 2 {
+            return Err(crate::BuildCircuitError::DegenerateNet {
+                name,
+                distinct_pins: pins.len(),
+            });
+        }
+        Ok(Net { name, pins })
+    }
+
+    /// Net name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The distinct modules this net connects, in ascending id order.
+    #[must_use]
+    pub fn pins(&self) -> &[ModuleId] {
+        &self.pins
+    }
+
+    /// Number of distinct pins.
+    #[must_use]
+    pub fn degree(&self) -> usize {
+        self.pins.len()
+    }
+}
+
+impl fmt::Display for Net {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({} pins)", self.name, self.pins.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_dedupes_and_sorts() {
+        let n = Net::new("n", vec![ModuleId(5), ModuleId(1), ModuleId(5)]).expect("valid net");
+        assert_eq!(n.pins(), &[ModuleId(1), ModuleId(5)]);
+        assert_eq!(n.degree(), 2);
+    }
+
+    #[test]
+    fn new_rejects_single_module_nets() {
+        assert!(Net::new("n", vec![ModuleId(3), ModuleId(3)]).is_err());
+        assert!(Net::new("n", vec![ModuleId(3)]).is_err());
+        assert!(Net::new("n", vec![]).is_err());
+    }
+
+    #[test]
+    fn display() {
+        let n = Net::new("clk", vec![ModuleId(0), ModuleId(1)]).expect("valid net");
+        assert_eq!(n.to_string(), "clk (2 pins)");
+        assert_eq!(NetId(3).to_string(), "N3");
+    }
+}

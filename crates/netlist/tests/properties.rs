@@ -1,0 +1,116 @@
+//! Property-based tests for circuits, the generator, and the MST.
+
+use irgrid_geom::{Point, Um};
+use irgrid_netlist::generator::CircuitGenerator;
+use irgrid_netlist::mst::{decompose, manhattan_mst, mst_length};
+use proptest::prelude::*;
+
+fn arb_points() -> impl Strategy<Value = Vec<Point>> {
+    prop::collection::vec(
+        (-1000i64..1000, -1000i64..1000).prop_map(|(x, y)| Point::new(Um(x), Um(y))),
+        0..12,
+    )
+}
+
+proptest! {
+    #[test]
+    fn mst_has_n_minus_one_edges(points in arb_points()) {
+        let edges = manhattan_mst(&points);
+        prop_assert_eq!(edges.len(), points.len().saturating_sub(1));
+        for &(a, b) in &edges {
+            prop_assert!(a < b && b < points.len());
+        }
+    }
+
+    #[test]
+    fn mst_spans_all_points(points in arb_points()) {
+        prop_assume!(points.len() >= 2);
+        let edges = manhattan_mst(&points);
+        let mut reached = vec![false; points.len()];
+        reached[0] = true;
+        // Edges from Prim come in tree-growth order, but verify
+        // connectivity order-independently.
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &(a, b) in &edges {
+                if reached[a] != reached[b] {
+                    reached[a] = true;
+                    reached[b] = true;
+                    changed = true;
+                }
+            }
+        }
+        prop_assert!(reached.iter().all(|&r| r), "MST not spanning");
+    }
+
+    #[test]
+    fn mst_length_is_minimal_among_stars(points in arb_points()) {
+        // The MST is no longer than any star decomposition rooted at any
+        // point (a star is a spanning tree).
+        prop_assume!(points.len() >= 2);
+        let mst = mst_length(&points);
+        for root in 0..points.len() {
+            let star: Um = points
+                .iter()
+                .map(|p| points[root].manhattan_distance(*p))
+                .sum();
+            prop_assert!(mst <= star, "MST {mst} beats star {star} at root {root}");
+        }
+    }
+
+    #[test]
+    fn mst_invariant_under_translation(points in arb_points(), dx in -500i64..500, dy in -500i64..500) {
+        let moved: Vec<Point> = points
+            .iter()
+            .map(|p| Point::new(p.x + Um(dx), p.y + Um(dy)))
+            .collect();
+        prop_assert_eq!(mst_length(&points), mst_length(&moved));
+    }
+
+    #[test]
+    fn decompose_length_matches(points in arb_points()) {
+        let total: Um = decompose(&points)
+            .iter()
+            .map(|(a, b)| a.manhattan_distance(*b))
+            .sum();
+        prop_assert_eq!(total, mst_length(&points));
+    }
+
+    #[test]
+    fn generator_rejects_single_module_nets(nets in 1usize..20, seed in 0u64..100) {
+        // Regression guard: this configuration used to hang.
+        let result = CircuitGenerator::new("p", 1, nets).seed(seed).generate();
+        prop_assert!(result.is_err());
+    }
+
+    #[test]
+    fn generator_respects_counts(modules in 2usize..40, nets in 0usize..60, seed in 0u64..100) {
+        let c = CircuitGenerator::new("p", modules, nets)
+            .seed(seed)
+            .generate()
+            .expect("valid parameters");
+        prop_assert_eq!(c.modules().len(), modules);
+        prop_assert_eq!(c.nets().len(), nets);
+        for m in c.modules() {
+            prop_assert!(m.width() > Um::ZERO && m.height() > Um::ZERO);
+        }
+        for n in c.nets() {
+            prop_assert!(n.degree() >= 2);
+            for &pin in n.pins() {
+                prop_assert!(pin.index() < modules);
+            }
+        }
+    }
+
+    #[test]
+    fn generator_area_scales(modules in 2usize..30, area in 1.0e5f64..1.0e8, seed in 0u64..50) {
+        let c = CircuitGenerator::new("p", modules, 0)
+            .total_area_um2(area)
+            .seed(seed)
+            .generate()
+            .expect("valid parameters");
+        let actual = c.total_module_area().0 as f64;
+        prop_assert!((actual - area).abs() / area < 0.05, "{actual} vs {area}");
+    }
+}

@@ -1,0 +1,265 @@
+//! The capacitated routing grid.
+
+use irgrid_core::UnitGrid;
+use irgrid_geom::{Point, Rect, Um};
+
+/// Usage and capacity of one routing-grid edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EdgeUsage {
+    /// Nets currently crossing the edge.
+    pub usage: u32,
+    /// Track capacity of the edge.
+    pub capacity: u32,
+}
+
+impl EdgeUsage {
+    /// How far usage exceeds capacity (0 when within capacity).
+    #[must_use]
+    pub fn overflow(&self) -> u32 {
+        self.usage.saturating_sub(self.capacity)
+    }
+}
+
+/// A routing grid over the chip: cells of side `pitch` with capacitated
+/// boundaries between 4-adjacent cells.
+///
+/// Horizontal edges connect `(x, y) – (x+1, y)`; vertical edges connect
+/// `(x, y) – (x, y+1)`.
+#[derive(Debug, Clone)]
+pub struct RoutingGrid {
+    grid: UnitGrid,
+    capacity: u32,
+    /// `cols-1 × rows` horizontal edge usages, row-major.
+    h_usage: Vec<u32>,
+    /// `cols × rows-1` vertical edge usages, row-major.
+    v_usage: Vec<u32>,
+    /// Negotiation history per edge (same layouts).
+    h_history: Vec<f64>,
+    v_history: Vec<f64>,
+}
+
+impl RoutingGrid {
+    /// Builds an empty grid over `chip` with uniform edge capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pitch is not positive, the capacity is zero, or the
+    /// chip is degenerate / off-origin.
+    #[must_use]
+    pub fn new(chip: &Rect, pitch: Um, capacity: u32) -> RoutingGrid {
+        assert!(capacity > 0, "edge capacity must be positive");
+        let grid = UnitGrid::new(chip, pitch);
+        let (c, r) = (grid.cols() as usize, grid.rows() as usize);
+        RoutingGrid {
+            grid,
+            capacity,
+            h_usage: vec![0; c.saturating_sub(1) * r],
+            v_usage: vec![0; c * r.saturating_sub(1)],
+            h_history: vec![0.0; c.saturating_sub(1) * r],
+            v_history: vec![0.0; c * r.saturating_sub(1)],
+        }
+    }
+
+    /// The underlying unit grid.
+    #[must_use]
+    pub fn grid(&self) -> &UnitGrid {
+        &self.grid
+    }
+
+    /// Uniform edge capacity.
+    #[must_use]
+    pub fn capacity(&self) -> u32 {
+        self.capacity
+    }
+
+    /// The cell containing a point (clamped to the grid).
+    #[must_use]
+    pub fn cell_of(&self, p: Point) -> (i64, i64) {
+        self.grid.cell_of(p)
+    }
+
+    fn h_index(&self, x: i64, y: i64) -> usize {
+        debug_assert!(x >= 0 && x < self.grid.cols() - 1 && y >= 0 && y < self.grid.rows());
+        (y * (self.grid.cols() - 1) + x) as usize
+    }
+
+    fn v_index(&self, x: i64, y: i64) -> usize {
+        debug_assert!(x >= 0 && x < self.grid.cols() && y >= 0 && y < self.grid.rows() - 1);
+        (y * self.grid.cols() + x) as usize
+    }
+
+    /// Usage of the horizontal edge `(x, y) – (x+1, y)`.
+    #[must_use]
+    pub fn h_edge(&self, x: i64, y: i64) -> EdgeUsage {
+        EdgeUsage {
+            usage: self.h_usage[self.h_index(x, y)],
+            capacity: self.capacity,
+        }
+    }
+
+    /// Usage of the vertical edge `(x, y) – (x, y+1)`.
+    #[must_use]
+    pub fn v_edge(&self, x: i64, y: i64) -> EdgeUsage {
+        EdgeUsage {
+            usage: self.v_usage[self.v_index(x, y)],
+            capacity: self.capacity,
+        }
+    }
+
+    pub(crate) fn h_history(&self, x: i64, y: i64) -> f64 {
+        self.h_history[self.h_index(x, y)]
+    }
+
+    pub(crate) fn v_history(&self, x: i64, y: i64) -> f64 {
+        self.v_history[self.v_index(x, y)]
+    }
+
+    pub(crate) fn add_h(&mut self, x: i64, y: i64, delta: i32) {
+        let i = self.h_index(x, y);
+        self.h_usage[i] = self.h_usage[i].checked_add_signed(delta).expect("usage underflow");
+    }
+
+    pub(crate) fn add_v(&mut self, x: i64, y: i64, delta: i32) {
+        let i = self.v_index(x, y);
+        self.v_usage[i] = self.v_usage[i].checked_add_signed(delta).expect("usage underflow");
+    }
+
+    /// Raises negotiation history on every currently overflowing edge.
+    pub(crate) fn bump_history(&mut self, increment: f64) {
+        for (u, h) in self.h_usage.iter().zip(self.h_history.iter_mut()) {
+            if *u > self.capacity {
+                *h += increment * f64::from(*u - self.capacity);
+            }
+        }
+        for (u, h) in self.v_usage.iter().zip(self.v_history.iter_mut()) {
+            if *u > self.capacity {
+                *h += increment * f64::from(*u - self.capacity);
+            }
+        }
+    }
+
+    /// Total overflow over all edges.
+    #[must_use]
+    pub fn total_overflow(&self) -> u64 {
+        let h: u64 = self
+            .h_usage
+            .iter()
+            .map(|&u| u64::from(u.saturating_sub(self.capacity)))
+            .sum();
+        let v: u64 = self
+            .v_usage
+            .iter()
+            .map(|&u| u64::from(u.saturating_sub(self.capacity)))
+            .sum();
+        h + v
+    }
+
+    /// Number of edges whose usage exceeds capacity.
+    #[must_use]
+    pub fn overflowed_edges(&self) -> usize {
+        self.h_usage
+            .iter()
+            .chain(self.v_usage.iter())
+            .filter(|&&u| u > self.capacity)
+            .count()
+    }
+
+    /// The maximum edge usage anywhere.
+    #[must_use]
+    pub fn peak_usage(&self) -> u32 {
+        self.h_usage
+            .iter()
+            .chain(self.v_usage.iter())
+            .copied()
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Mean usage of the top `fraction` most used edges — the router-side
+    /// analogue of the paper's top-10 % congestion score, used to
+    /// correlate estimates with routed reality.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fraction` is not in `(0, 1]`.
+    #[must_use]
+    pub fn top_fraction_usage(&self, fraction: f64) -> f64 {
+        let values: Vec<f64> = self
+            .h_usage
+            .iter()
+            .chain(self.v_usage.iter())
+            .map(|&u| f64::from(u))
+            .collect();
+        irgrid_core::score::top_fraction_mean(&values, fraction)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid() -> RoutingGrid {
+        let chip = Rect::from_origin_size(Point::ORIGIN, Um(120), Um(90));
+        RoutingGrid::new(&chip, Um(30), 2)
+    }
+
+    #[test]
+    fn dimensions() {
+        let g = grid();
+        assert_eq!(g.grid().cols(), 4);
+        assert_eq!(g.grid().rows(), 3);
+        assert_eq!(g.capacity(), 2);
+        assert_eq!(g.total_overflow(), 0);
+        assert_eq!(g.peak_usage(), 0);
+    }
+
+    #[test]
+    fn usage_accounting() {
+        let mut g = grid();
+        g.add_h(0, 0, 1);
+        g.add_h(0, 0, 1);
+        g.add_h(0, 0, 1);
+        assert_eq!(g.h_edge(0, 0).usage, 3);
+        assert_eq!(g.h_edge(0, 0).overflow(), 1);
+        assert_eq!(g.total_overflow(), 1);
+        assert_eq!(g.overflowed_edges(), 1);
+        g.add_h(0, 0, -1);
+        assert_eq!(g.total_overflow(), 0);
+    }
+
+    #[test]
+    fn vertical_edges_independent() {
+        let mut g = grid();
+        g.add_v(3, 1, 1);
+        assert_eq!(g.v_edge(3, 1).usage, 1);
+        assert_eq!(g.h_edge(0, 0).usage, 0);
+        assert_eq!(g.peak_usage(), 1);
+    }
+
+    #[test]
+    fn history_bumps_only_overflowing() {
+        let mut g = grid();
+        g.add_h(1, 1, 3); // capacity 2 -> overflow 1
+        g.add_v(0, 0, 1); // within capacity
+        g.bump_history(0.5);
+        assert!(g.h_history(1, 1) > 0.0);
+        assert_eq!(g.v_history(0, 0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let chip = Rect::from_origin_size(Point::ORIGIN, Um(120), Um(90));
+        let _ = RoutingGrid::new(&chip, Um(30), 0);
+    }
+
+    #[test]
+    fn top_fraction_usage_tracks_hot_edges() {
+        let mut g = grid();
+        g.add_h(0, 0, 5);
+        let hot = g.top_fraction_usage(0.05);
+        let broad = g.top_fraction_usage(1.0);
+        assert!(hot >= broad);
+        assert!(hot > 0.0);
+    }
+}

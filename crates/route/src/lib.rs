@@ -1,0 +1,45 @@
+//! A capacitated grid global router.
+//!
+//! The paper validates its congestion *estimates* against a finer
+//! estimator (the 10 µm "judging model"). The natural stronger check —
+//! and the obvious reviewer question — is validation against an actual
+//! router: congestion estimates exist to predict where a router will
+//! overflow. This crate provides that ground truth: a deterministic
+//! global router over a capacitated routing grid with PathFinder-style
+//! negotiated congestion (route, measure overflow, raise history costs,
+//! rip-up and reroute).
+//!
+//! The router is deliberately simple — sequential A* with negotiation,
+//! uniform edge capacities — but it is a *real* router: nets may detour
+//! off their bounding boxes, which is exactly the behaviour probabilistic
+//! models cannot capture and the reason validation matters.
+//!
+//! # Examples
+//!
+//! ```
+//! use irgrid_geom::{Point, Rect, Um};
+//! use irgrid_route::{GlobalRouter, RouterConfig};
+//!
+//! let chip = Rect::from_origin_size(Point::ORIGIN, Um(300), Um(300));
+//! let segments = vec![
+//!     (Point::new(Um(15), Um(15)), Point::new(Um(285), Um(285))),
+//!     (Point::new(Um(15), Um(285)), Point::new(Um(285), Um(15))),
+//! ];
+//! let router = GlobalRouter::new(RouterConfig {
+//!     pitch: Um(30),
+//!     edge_capacity: 4,
+//!     ..RouterConfig::default()
+//! });
+//! let result = router.route(&chip, &segments);
+//! assert_eq!(result.routed_nets, 2);
+//! assert_eq!(result.total_overflow, 0, "two nets cannot overflow capacity 4");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod grid;
+mod router;
+
+pub use grid::{EdgeUsage, RoutingGrid};
+pub use router::{GlobalRouter, RouteResult, RouterConfig};

@@ -1,0 +1,418 @@
+//! The negotiated-congestion router.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use irgrid_geom::{Point, Rect, Um};
+
+use crate::RoutingGrid;
+
+/// Router tuning parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RouterConfig {
+    /// Routing-grid pitch.
+    pub pitch: Um,
+    /// Uniform track capacity per grid edge.
+    pub edge_capacity: u32,
+    /// Maximum negotiation (rip-up-and-reroute) iterations.
+    pub max_iterations: usize,
+    /// Cost added per unit of *present* congestion (usage ≥ capacity) on
+    /// an edge while routing.
+    pub present_penalty: f64,
+    /// History increment added to persistently overflowing edges after
+    /// each iteration.
+    pub history_increment: f64,
+}
+
+impl Default for RouterConfig {
+    fn default() -> RouterConfig {
+        RouterConfig {
+            pitch: Um(30),
+            edge_capacity: 8,
+            max_iterations: 5,
+            present_penalty: 2.0,
+            history_increment: 1.0,
+        }
+    }
+}
+
+impl RouterConfig {
+    fn validate(&self) {
+        assert!(self.pitch > Um::ZERO, "pitch must be positive, got {}", self.pitch);
+        assert!(self.edge_capacity > 0, "edge capacity must be positive");
+        assert!(self.max_iterations > 0, "need at least one routing iteration");
+        assert!(
+            self.present_penalty >= 0.0 && self.history_increment >= 0.0,
+            "penalties must be non-negative"
+        );
+    }
+}
+
+/// The outcome of routing one floorplan's segments.
+#[derive(Debug, Clone)]
+pub struct RouteResult {
+    /// The final grid with per-edge usage.
+    pub grid: RoutingGrid,
+    /// Number of nets routed (all of them — the router always finds a
+    /// path on a connected grid).
+    pub routed_nets: usize,
+    /// Total wirelength of the routed paths, in grid edges.
+    pub routed_edges: u64,
+    /// Final total overflow (0 = fully routable at this capacity).
+    pub total_overflow: u64,
+    /// Negotiation iterations actually used.
+    pub iterations: usize,
+}
+
+impl RouteResult {
+    /// Sum of detour lengths versus each net's Manhattan lower bound,
+    /// in grid edges.
+    #[must_use]
+    pub fn detour_edges(&self, segments: &[(Point, Point)]) -> u64 {
+        let lower: u64 = segments
+            .iter()
+            .map(|&(a, b)| {
+                let (ax, ay) = self.grid.cell_of(a);
+                let (bx, by) = self.grid.cell_of(b);
+                ((ax - bx).abs() + (ay - by).abs()) as u64
+            })
+            .sum();
+        self.routed_edges - lower.min(self.routed_edges)
+    }
+}
+
+/// A deterministic sequential global router with PathFinder-style
+/// negotiation.
+///
+/// See the [crate-level example](crate).
+#[derive(Debug, Clone, Copy)]
+pub struct GlobalRouter {
+    config: RouterConfig,
+}
+
+/// One net's current route, as a list of cells.
+type Path = Vec<(i64, i64)>;
+
+impl GlobalRouter {
+    /// Creates a router.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (see [`RouterConfig`]
+    /// fields).
+    #[must_use]
+    pub fn new(config: RouterConfig) -> GlobalRouter {
+        config.validate();
+        GlobalRouter { config }
+    }
+
+    /// The configuration in use.
+    #[must_use]
+    pub fn config(&self) -> &RouterConfig {
+        &self.config
+    }
+
+    /// Routes all 2-pin segments on a fresh grid over `chip`.
+    ///
+    /// Deterministic: nets are processed in a fixed order (longer nets
+    /// first, ties by index — long nets have fewer alternatives, the
+    /// classic ordering), and A* tie-breaking is by node index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chip` is degenerate or not at the origin.
+    #[must_use]
+    pub fn route(&self, chip: &Rect, segments: &[(Point, Point)]) -> RouteResult {
+        let mut grid = RoutingGrid::new(chip, self.config.pitch, self.config.edge_capacity);
+
+        // Net terminals in cells; drop same-cell nets (nothing to route).
+        let mut nets: Vec<(usize, (i64, i64), (i64, i64))> = segments
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &(a, b))| {
+                let ca = grid.cell_of(a);
+                let cb = grid.cell_of(b);
+                (ca != cb).then_some((i, ca, cb))
+            })
+            .collect();
+        nets.sort_by_key(|&(i, a, b)| {
+            let len = (a.0 - b.0).abs() + (a.1 - b.1).abs();
+            (std::cmp::Reverse(len), i)
+        });
+
+        let mut paths: Vec<Option<Path>> = vec![None; nets.len()];
+        let mut iterations = 0;
+        for iter in 0..self.config.max_iterations {
+            iterations = iter + 1;
+            // Rip up everything and reroute against current history
+            // (first iteration: empty grid).
+            for (slot, &(_, a, b)) in paths.iter_mut().zip(&nets) {
+                if let Some(path) = slot.take() {
+                    apply_path(&mut grid, &path, -1);
+                }
+                let path = self.astar(&grid, a, b);
+                apply_path(&mut grid, &path, 1);
+                *slot = Some(path);
+            }
+            if grid.total_overflow() == 0 {
+                break;
+            }
+            grid.bump_history(self.config.history_increment);
+        }
+
+        let routed_edges: u64 = paths
+            .iter()
+            .map(|p| (p.as_ref().map_or(0, |p| p.len().saturating_sub(1))) as u64)
+            .sum();
+        RouteResult {
+            total_overflow: grid.total_overflow(),
+            routed_nets: nets.len(),
+            routed_edges,
+            iterations,
+            grid,
+        }
+    }
+
+    /// A* from cell `a` to cell `b` under the current congestion costs.
+    fn astar(&self, grid: &RoutingGrid, a: (i64, i64), b: (i64, i64)) -> Path {
+        #[derive(PartialEq)]
+        struct Entry {
+            priority: f64,
+            node: usize,
+        }
+        impl Eq for Entry {}
+        impl Ord for Entry {
+            fn cmp(&self, other: &Self) -> Ordering {
+                // Min-heap on (priority, node) — node index breaks ties
+                // deterministically.
+                other
+                    .priority
+                    .partial_cmp(&self.priority)
+                    .expect("finite priorities")
+                    .then(other.node.cmp(&self.node))
+            }
+        }
+        impl PartialOrd for Entry {
+            fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+                Some(self.cmp(other))
+            }
+        }
+
+        let cols = grid.grid().cols();
+        let rows = grid.grid().rows();
+        let idx = |x: i64, y: i64| (y * cols + x) as usize;
+        let n = (cols * rows) as usize;
+        let mut dist = vec![f64::INFINITY; n];
+        let mut prev = vec![usize::MAX; n];
+        let mut heap = BinaryHeap::new();
+        let h = |x: i64, y: i64| ((x - b.0).abs() + (y - b.1).abs()) as f64;
+
+        dist[idx(a.0, a.1)] = 0.0;
+        heap.push(Entry {
+            priority: h(a.0, a.1),
+            node: idx(a.0, a.1),
+        });
+
+        while let Some(Entry { node, priority }) = heap.pop() {
+            let (x, y) = ((node as i64) % cols, (node as i64) / cols);
+            if (x, y) == b {
+                break;
+            }
+            if priority - h(x, y) > dist[node] + 1e-12 {
+                continue; // stale entry
+            }
+            let mut relax = |nx: i64, ny: i64, edge_cost: f64| {
+                let ni = idx(nx, ny);
+                let cand = dist[node] + edge_cost;
+                if cand < dist[ni] - 1e-15 {
+                    dist[ni] = cand;
+                    prev[ni] = node;
+                    heap.push(Entry {
+                        priority: cand + h(nx, ny),
+                        node: ni,
+                    });
+                }
+            };
+            if x + 1 < cols {
+                relax(x + 1, y, self.edge_cost(grid.h_edge(x, y).usage, grid.h_history(x, y)));
+            }
+            if x > 0 {
+                relax(
+                    x - 1,
+                    y,
+                    self.edge_cost(grid.h_edge(x - 1, y).usage, grid.h_history(x - 1, y)),
+                );
+            }
+            if y + 1 < rows {
+                relax(x, y + 1, self.edge_cost(grid.v_edge(x, y).usage, grid.v_history(x, y)));
+            }
+            if y > 0 {
+                relax(
+                    x,
+                    y - 1,
+                    self.edge_cost(grid.v_edge(x, y - 1).usage, grid.v_history(x, y - 1)),
+                );
+            }
+        }
+
+        // Reconstruct.
+        let mut path = vec![b];
+        let mut node = idx(b.0, b.1);
+        debug_assert!(prev[node] != usize::MAX || a == b, "grid is connected, a path exists");
+        while prev[node] != usize::MAX {
+            node = prev[node];
+            path.push(((node as i64) % cols, (node as i64) / cols));
+        }
+        path.reverse();
+        debug_assert_eq!(path.first(), Some(&a));
+        path
+    }
+
+    /// The cost of crossing one edge given its usage and history.
+    fn edge_cost(&self, usage: u32, history: f64) -> f64 {
+        let over = (i64::from(usage) + 1 - i64::from(self.config.edge_capacity)).max(0) as f64;
+        1.0 + self.config.present_penalty * over + history
+    }
+}
+
+/// Adds (`delta = 1`) or removes (`delta = -1`) a path's edge usage.
+fn apply_path(grid: &mut RoutingGrid, path: &[(i64, i64)], delta: i32) {
+    for pair in path.windows(2) {
+        let ((x0, y0), (x1, y1)) = (pair[0], pair[1]);
+        if y0 == y1 {
+            grid.add_h(x0.min(x1), y0, delta);
+        } else {
+            grid.add_v(x0, y0.min(y1), delta);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chip(w: i64, h: i64) -> Rect {
+        Rect::from_origin_size(Point::ORIGIN, Um(w), Um(h))
+    }
+
+    fn pt(x: i64, y: i64) -> Point {
+        Point::new(Um(x), Um(y))
+    }
+
+    fn router(capacity: u32) -> GlobalRouter {
+        GlobalRouter::new(RouterConfig {
+            pitch: Um(30),
+            edge_capacity: capacity,
+            ..RouterConfig::default()
+        })
+    }
+
+    #[test]
+    fn single_net_routes_at_manhattan_length() {
+        let result = router(4).route(&chip(300, 300), &[(pt(15, 15), pt(255, 195))]);
+        assert_eq!(result.routed_nets, 1);
+        // Cells (0,0) -> (8,6): 14 edges, no congestion, no detour.
+        assert_eq!(result.routed_edges, 14);
+        assert_eq!(result.total_overflow, 0);
+        assert_eq!(result.detour_edges(&[(pt(15, 15), pt(255, 195))]), 0);
+    }
+
+    #[test]
+    fn same_cell_nets_are_skipped() {
+        let result = router(4).route(&chip(300, 300), &[(pt(15, 15), pt(20, 25))]);
+        assert_eq!(result.routed_nets, 0);
+        assert_eq!(result.routed_edges, 0);
+    }
+
+    #[test]
+    fn congestion_forces_detours_instead_of_overflow() {
+        // Five nets through the same row corridor (distinct pin cells so
+        // pin escape is feasible) with capacity 1: the router must spread
+        // them vertically rather than overflow.
+        let segments: Vec<(Point, Point)> = (0..5)
+            .map(|i| (pt(15 + 30 * i, 135), pt(285 - 30 * i, 165)))
+            .collect();
+        let result = router(1).route(&chip(300, 300), &segments);
+        assert_eq!(result.routed_nets, 5);
+        assert_eq!(result.total_overflow, 0, "a 10-row chip can absorb 5 nets");
+        assert!(
+            result.detour_edges(&segments) > 0,
+            "overlapping nets must detour around each other"
+        );
+    }
+
+    #[test]
+    fn shared_pin_cell_overflow_is_exactly_the_escape_bottleneck() {
+        // Five nets sharing both pin cells: the source cell has only
+        // three incident capacity-1 edges, so 2 units of overflow at each
+        // end are unavoidable — and the router should not do worse.
+        let segments: Vec<(Point, Point)> =
+            (0..5).map(|_| (pt(15, 135), pt(285, 135))).collect();
+        let result = router(1).route(&chip(300, 300), &segments);
+        assert_eq!(result.total_overflow, 4, "2 at the source + 2 at the sink");
+    }
+
+    #[test]
+    fn impossible_demand_reports_overflow() {
+        // 30 identical nets on a 2-row chip with capacity 1 cannot avoid
+        // overflowing.
+        let segments: Vec<(Point, Point)> =
+            (0..30).map(|_| (pt(15, 15), pt(285, 15))).collect();
+        let result = router(1).route(&chip(300, 60), &segments);
+        assert!(result.total_overflow > 0);
+        assert!(result.iterations > 1, "negotiation should have retried");
+    }
+
+    #[test]
+    fn deterministic() {
+        let segments: Vec<(Point, Point)> = (0..8)
+            .map(|i| (pt(15 + i * 30, 15), pt(285 - i * 20, 285)))
+            .collect();
+        let a = router(2).route(&chip(300, 300), &segments);
+        let b = router(2).route(&chip(300, 300), &segments);
+        assert_eq!(a.total_overflow, b.total_overflow);
+        assert_eq!(a.routed_edges, b.routed_edges);
+        assert_eq!(a.grid.peak_usage(), b.grid.peak_usage());
+    }
+
+    #[test]
+    fn paths_are_connected_and_valid() {
+        let segments = vec![(pt(15, 15), pt(255, 255)), (pt(255, 15), pt(15, 255))];
+        let result = router(2).route(&chip(300, 300), &segments);
+        // Wirelength accounting: each path's edges were applied exactly
+        // once; ripping everything would return usage to zero. Verified
+        // indirectly: total usage equals routed_edges.
+        let mut usage_sum = 0u64;
+        for y in 0..result.grid.grid().rows() {
+            for x in 0..result.grid.grid().cols() - 1 {
+                usage_sum += u64::from(result.grid.h_edge(x, y).usage);
+            }
+        }
+        for y in 0..result.grid.grid().rows() - 1 {
+            for x in 0..result.grid.grid().cols() {
+                usage_sum += u64::from(result.grid.v_edge(x, y).usage);
+            }
+        }
+        assert_eq!(usage_sum, result.routed_edges);
+    }
+
+    #[test]
+    fn more_capacity_never_increases_overflow() {
+        let segments: Vec<(Point, Point)> = (0..12)
+            .map(|i| (pt(15, 15 + 10 * i), pt(285, 150)))
+            .collect();
+        let tight = router(1).route(&chip(300, 300), &segments);
+        let loose = router(4).route(&chip(300, 300), &segments);
+        assert!(loose.total_overflow <= tight.total_overflow);
+    }
+
+    #[test]
+    #[should_panic(expected = "edge capacity must be positive")]
+    fn invalid_config_rejected() {
+        let _ = GlobalRouter::new(RouterConfig {
+            edge_capacity: 0,
+            ..RouterConfig::default()
+        });
+    }
+}
+

@@ -1,0 +1,106 @@
+//! Property-based tests for the global router.
+
+use irgrid_geom::{Point, Rect, Um};
+use irgrid_route::{GlobalRouter, RouterConfig};
+use proptest::prelude::*;
+
+fn arb_segments() -> impl Strategy<Value = Vec<(Point, Point)>> {
+    prop::collection::vec(
+        ((0i64..600, 0i64..600), (0i64..600, 0i64..600)).prop_map(|((ax, ay), (bx, by))| {
+            (Point::new(Um(ax), Um(ay)), Point::new(Um(bx), Um(by)))
+        }),
+        1..14,
+    )
+}
+
+fn router(capacity: u32) -> GlobalRouter {
+    GlobalRouter::new(RouterConfig {
+        pitch: Um(30),
+        edge_capacity: capacity,
+        ..RouterConfig::default()
+    })
+}
+
+fn chip() -> Rect {
+    Rect::from_origin_size(Point::ORIGIN, Um(600), Um(600))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn usage_equals_routed_edges(segments in arb_segments(), capacity in 1u32..6) {
+        let result = router(capacity).route(&chip(), &segments);
+        let grid = &result.grid;
+        let mut usage = 0u64;
+        for y in 0..grid.grid().rows() {
+            for x in 0..grid.grid().cols() - 1 {
+                usage += u64::from(grid.h_edge(x, y).usage);
+            }
+        }
+        for y in 0..grid.grid().rows() - 1 {
+            for x in 0..grid.grid().cols() {
+                usage += u64::from(grid.v_edge(x, y).usage);
+            }
+        }
+        prop_assert_eq!(usage, result.routed_edges);
+    }
+
+    #[test]
+    fn routed_length_at_least_manhattan(segments in arb_segments()) {
+        let result = router(4).route(&chip(), &segments);
+        // detour_edges computes routed - lower bound; it must not wrap.
+        let lower: u64 = segments
+            .iter()
+            .map(|&(a, b)| {
+                let (ax, ay) = result.grid.cell_of(a);
+                let (bx, by) = result.grid.cell_of(b);
+                ((ax - bx).abs() + (ay - by).abs()) as u64
+            })
+            .sum();
+        prop_assert!(result.routed_edges >= lower);
+        prop_assert_eq!(result.detour_edges(&segments), result.routed_edges - lower);
+    }
+
+    #[test]
+    fn deterministic_across_runs(segments in arb_segments(), capacity in 1u32..6) {
+        let a = router(capacity).route(&chip(), &segments);
+        let b = router(capacity).route(&chip(), &segments);
+        prop_assert_eq!(a.routed_edges, b.routed_edges);
+        prop_assert_eq!(a.total_overflow, b.total_overflow);
+        prop_assert_eq!(a.iterations, b.iterations);
+    }
+
+    #[test]
+    fn generous_capacity_routes_without_overflow(segments in arb_segments()) {
+        // Capacity >= net count can always absorb everything on the
+        // shortest paths.
+        let result = router(14).route(&chip(), &segments);
+        prop_assert_eq!(result.total_overflow, 0);
+        prop_assert_eq!(result.iterations, 1);
+    }
+
+    #[test]
+    fn overflow_monotone_in_capacity(segments in arb_segments()) {
+        let tight = router(1).route(&chip(), &segments);
+        let mid = router(2).route(&chip(), &segments);
+        let loose = router(8).route(&chip(), &segments);
+        prop_assert!(loose.total_overflow <= mid.total_overflow);
+        // Negotiation is heuristic, so strict monotonicity between
+        // adjacent capacities is not guaranteed; a generous bound guards
+        // against inverted accounting.
+        prop_assert!(mid.total_overflow <= tight.total_overflow + 2);
+    }
+
+    #[test]
+    fn overflow_counts_match_grid(segments in arb_segments(), capacity in 1u32..4) {
+        let result = router(capacity).route(&chip(), &segments);
+        prop_assert_eq!(result.total_overflow, result.grid.total_overflow());
+        if result.total_overflow == 0 {
+            prop_assert_eq!(result.grid.overflowed_edges(), 0);
+        } else {
+            prop_assert!(result.grid.overflowed_edges() > 0);
+        }
+        prop_assert!(result.grid.peak_usage() >= capacity || result.total_overflow == 0);
+    }
+}

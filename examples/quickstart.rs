@@ -1,0 +1,80 @@
+//! Quickstart: build a tiny circuit, pack it, and score its congestion
+//! with both the fixed-grid baseline and the Irregular-Grid model.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use irgrid::congestion::{CongestionModel, FixedGridModel, IrregularGridModel};
+use irgrid::floorplan::{pack, two_pin_segments, PinPlacer, PolishExpr};
+use irgrid::geom::Um;
+use irgrid::netlist::{Circuit, Module, ModuleId, Net};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A hand-built four-module circuit.
+    let circuit = Circuit::new(
+        "quickstart",
+        vec![
+            Module::new("cpu", Um(400), Um(300))?,
+            Module::new("cache", Um(250), Um(250))?,
+            Module::new("dsp", Um(300), Um(200))?,
+            Module::new("io", Um(150), Um(350))?,
+        ],
+        vec![
+            Net::new("cpu_cache", vec![ModuleId(0), ModuleId(1)])?,
+            Net::new("cpu_dsp", vec![ModuleId(0), ModuleId(2)])?,
+            Net::new("bus", vec![ModuleId(0), ModuleId(1), ModuleId(2), ModuleId(3)])?,
+            Net::new("dsp_io", vec![ModuleId(2), ModuleId(3)])?,
+        ],
+    )?;
+    println!("circuit: {circuit}");
+
+    // Pack the canonical initial Polish expression.
+    let expr = PolishExpr::initial(circuit.modules().len());
+    let placement = pack(&expr, &circuit);
+    println!("expression: {expr}");
+    println!(
+        "chip: {} x {} = {:.3} mm^2 (dead space {:.1}%)",
+        placement.chip().width(),
+        placement.chip().height(),
+        placement.area().as_mm2(),
+        100.0 * placement.dead_space().as_f64() / placement.area().as_f64(),
+    );
+    for (id, module) in circuit.modules_with_ids() {
+        println!(
+            "  {:>6}: {}{}",
+            module.name(),
+            placement.module_rect(id),
+            if placement.is_rotated(id) { " (rotated)" } else { "" },
+        );
+    }
+
+    // Decompose nets into 2-pin segments and score congestion.
+    let placer = PinPlacer::new(Um(30));
+    let segments = two_pin_segments(&circuit, &placement, &placer);
+    let wirelength: i64 = segments
+        .iter()
+        .map(|(a, b)| a.manhattan_distance(*b).0)
+        .sum();
+    println!("segments: {} (total wirelength {wirelength} um)", segments.len());
+
+    let fixed = FixedGridModel::new(Um(30));
+    let irregular = IrregularGridModel::new(Um(30));
+    let fixed_map = fixed.congestion_map(&placement.chip(), &segments);
+    let ir_map = irregular.congestion_map(&placement.chip(), &segments);
+
+    println!("\n{}:", fixed.name());
+    println!("  grids: {}", fixed_map.cell_count());
+    println!("  peak cell congestion: {:.4}", fixed_map.peak());
+    println!("  top-10% cost: {:.4}", fixed_map.cost());
+
+    println!("{}:", irregular.name());
+    println!(
+        "  IR-grids: {} ({} x {})",
+        ir_map.ir_cell_count(),
+        ir_map.ir_cols(),
+        ir_map.ir_rows()
+    );
+    println!("  peak density: {:.4}", ir_map.peak_density());
+    println!("  top-10% cost: {:.4}", ir_map.cost());
+
+    Ok(())
+}

@@ -1,0 +1,98 @@
+//! Floorplanner-substrate integration: packing validity, pin placement
+//! and wirelength consistency maintained across thousands of annealing
+//! moves on real benchmark circuits.
+
+use irgrid::floorplan::{
+    net_pins, pack, total_wirelength, two_pin_segments, PinPlacer, PolishExpr,
+};
+use irgrid::geom::Um;
+use irgrid::netlist::mcnc::McncCircuit;
+use irgrid::netlist::mst;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+#[test]
+fn packing_stays_sound_across_many_moves() {
+    let circuit = McncCircuit::Ami33.circuit();
+    let mut expr = PolishExpr::initial(circuit.modules().len());
+    let mut rng = ChaCha8Rng::seed_from_u64(77);
+    let lower_bound = circuit.total_module_area();
+    for step in 0..400 {
+        expr.perturb_random(&mut rng);
+        let placement = pack(&expr, &circuit);
+        assert!(
+            placement.check_consistency().is_none(),
+            "step {step}: {:?}",
+            placement.check_consistency()
+        );
+        assert!(placement.area() >= lower_bound, "step {step}");
+    }
+}
+
+#[test]
+fn wirelength_is_sum_of_net_msts() {
+    let circuit = McncCircuit::Xerox.circuit();
+    let placement = pack(&PolishExpr::initial(circuit.modules().len()), &circuit);
+    let placer = PinPlacer::new(Um(30));
+    let wl = total_wirelength(&circuit, &placement, &placer);
+    let manual: irgrid::geom::Um = net_pins(&circuit, &placement, &placer)
+        .iter()
+        .map(|pins| mst::mst_length(pins))
+        .sum();
+    assert_eq!(wl, manual);
+}
+
+#[test]
+fn segments_stay_inside_chip() {
+    let circuit = McncCircuit::Ami49.circuit();
+    let mut expr = PolishExpr::initial(circuit.modules().len());
+    let mut rng = ChaCha8Rng::seed_from_u64(13);
+    for _ in 0..20 {
+        expr.perturb_random(&mut rng);
+    }
+    let placement = pack(&expr, &circuit);
+    let placer = PinPlacer::new(Um(30));
+    let chip = placement.chip();
+    for (a, b) in two_pin_segments(&circuit, &placement, &placer) {
+        assert!(chip.contains(a), "pin {a} outside chip {chip}");
+        assert!(chip.contains(b), "pin {b} outside chip {chip}");
+    }
+}
+
+#[test]
+fn rotation_bookkeeping_matches_rect_dimensions() {
+    let circuit = McncCircuit::Apte.circuit();
+    let mut expr = PolishExpr::initial(circuit.modules().len());
+    let mut rng = ChaCha8Rng::seed_from_u64(5);
+    for _ in 0..50 {
+        expr.perturb_random(&mut rng);
+    }
+    let placement = pack(&expr, &circuit);
+    for (id, module) in circuit.modules_with_ids() {
+        let rect = placement.module_rect(id);
+        if placement.is_rotated(id) {
+            assert_eq!(rect.width(), module.height(), "{id}");
+            assert_eq!(rect.height(), module.width(), "{id}");
+        } else {
+            assert_eq!(rect.width(), module.width(), "{id}");
+            assert_eq!(rect.height(), module.height(), "{id}");
+        }
+    }
+}
+
+#[test]
+fn wirelength_reacts_to_floorplan_changes() {
+    // Perturbing the expression must change the wirelength at least
+    // sometimes — a guard against accidentally caching stale pins.
+    let circuit = McncCircuit::Hp.circuit();
+    let placer = PinPlacer::new(Um(30));
+    let mut expr = PolishExpr::initial(circuit.modules().len());
+    let mut rng = ChaCha8Rng::seed_from_u64(2);
+    let mut lengths = std::collections::HashSet::new();
+    for _ in 0..30 {
+        expr.perturb_random(&mut rng);
+        let placement = pack(&expr, &circuit);
+        lengths.insert(total_wirelength(&circuit, &placement, &placer).0);
+    }
+    assert!(lengths.len() > 5, "wirelength never changed: {lengths:?}");
+}

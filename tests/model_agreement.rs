@@ -1,0 +1,121 @@
+//! Cross-model agreement: the Irregular-Grid estimate must track the
+//! fine fixed-grid reference across many floorplans — the property the
+//! paper's Experiment 2 demonstrates.
+
+use irgrid::congestion::{
+    CongestionModel, Evaluator, FixedGridModel, IrregularGridModel,
+};
+use irgrid::floorplan::{pack, two_pin_segments, PinPlacer, PolishExpr};
+use irgrid::geom::Um;
+use irgrid::netlist::mcnc::McncCircuit;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Spearman-style rank correlation (ties broken by index, fine for
+/// distinct float scores).
+fn rank_correlation(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len());
+    let n = a.len();
+    let rank = |v: &[f64]| -> Vec<f64> {
+        let mut idx: Vec<usize> = (0..v.len()).collect();
+        idx.sort_by(|&i, &j| v[i].partial_cmp(&v[j]).expect("finite"));
+        let mut r = vec![0.0; v.len()];
+        for (pos, &i) in idx.iter().enumerate() {
+            r[i] = pos as f64;
+        }
+        r
+    };
+    let (ra, rb) = (rank(a), rank(b));
+    let mean = (n as f64 - 1.0) / 2.0;
+    let mut num = 0.0;
+    let (mut da, mut db) = (0.0, 0.0);
+    for i in 0..n {
+        let (xa, xb) = (ra[i] - mean, rb[i] - mean);
+        num += xa * xb;
+        da += xa * xa;
+        db += xb * xb;
+    }
+    num / (da.sqrt() * db.sqrt())
+}
+
+/// Generates `count` random floorplans of the circuit and returns
+/// per-floorplan scores of the given models.
+fn score_random_floorplans(
+    bench: McncCircuit,
+    count: usize,
+    models: &[&dyn CongestionModel],
+) -> Vec<Vec<f64>> {
+    let circuit = bench.circuit();
+    let placer = PinPlacer::new(Um(bench.paper_grid_pitch_um()));
+    let mut rng = ChaCha8Rng::seed_from_u64(1234);
+    let mut expr = PolishExpr::initial(circuit.modules().len());
+    let mut scores = vec![Vec::with_capacity(count); models.len()];
+    for _ in 0..count {
+        for _ in 0..8 {
+            expr.perturb_random(&mut rng);
+        }
+        let placement = pack(&expr, &circuit);
+        let segments = two_pin_segments(&circuit, &placement, &placer);
+        for (slot, model) in scores.iter_mut().zip(models) {
+            slot.push(model.evaluate(&placement.chip(), &segments));
+        }
+    }
+    scores
+}
+
+#[test]
+fn irregular_tracks_fine_fixed_grid_ranking() {
+    let ir = IrregularGridModel::new(Um(30));
+    let judging = FixedGridModel::new(Um(10));
+    let scores = score_random_floorplans(McncCircuit::Ami33, 14, &[&ir, &judging]);
+    let rho = rank_correlation(&scores[0], &scores[1]);
+    assert!(
+        rho > 0.5,
+        "IR model should rank floorplans like the judging model, rho = {rho}"
+    );
+}
+
+#[test]
+fn exact_and_approximate_evaluators_agree_on_rankings() {
+    let approx = IrregularGridModel::new(Um(30));
+    let exact = IrregularGridModel::new(Um(30)).with_evaluator(Evaluator::Exact);
+    let scores = score_random_floorplans(McncCircuit::Hp, 12, &[&approx, &exact]);
+    for (a, e) in scores[0].iter().zip(&scores[1]) {
+        let rel = (a - e).abs() / e.max(1e-12);
+        assert!(rel < 0.15, "approx {a} vs exact {e} (rel {rel})");
+    }
+    let rho = rank_correlation(&scores[0], &scores[1]);
+    assert!(rho > 0.8, "evaluators disagree on ranking, rho = {rho}");
+}
+
+#[test]
+fn coarser_fixed_grids_still_correlate_but_less_than_ir() {
+    // Figure 9's qualitative claim: the IR model tracks the 10 um judge
+    // more closely than a coarse 50 um fixed grid does.
+    let ir = IrregularGridModel::new(Um(30));
+    let coarse = FixedGridModel::new(Um(50));
+    let judging = FixedGridModel::new(Um(10));
+    let scores = score_random_floorplans(McncCircuit::Ami33, 14, &[&ir, &coarse, &judging]);
+    let rho_ir = rank_correlation(&scores[0], &scores[2]);
+    let rho_coarse = rank_correlation(&scores[1], &scores[2]);
+    // Both should correlate; the IR model should not be substantially
+    // worse than the coarse fixed grid.
+    assert!(rho_ir > 0.4, "rho_ir = {rho_ir}");
+    assert!(rho_coarse > 0.0, "rho_coarse = {rho_coarse}");
+    assert!(
+        rho_ir >= rho_coarse - 0.2,
+        "IR ({rho_ir}) should track the judge at least as well as 50um fixed ({rho_coarse})"
+    );
+}
+
+#[test]
+fn models_agree_congestion_is_nonnegative_and_finite_everywhere() {
+    for bench in [McncCircuit::Apte, McncCircuit::Xerox] {
+        let ir = IrregularGridModel::new(Um(bench.paper_grid_pitch_um()));
+        let fixed = FixedGridModel::new(Um(50));
+        let scores = score_random_floorplans(bench, 4, &[&ir, &fixed]);
+        for s in scores.iter().flatten() {
+            assert!(s.is_finite() && *s >= 0.0, "{bench}: score {s}");
+        }
+    }
+}
