@@ -4,6 +4,8 @@ use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 
+use crate::checkpoint::{Checkpoint, FORMAT_VERSION};
+use crate::control::{AnnealError, RunControl, StopReason};
 use crate::Schedule;
 
 /// A problem the annealer can optimize: a state space with a cost function
@@ -22,6 +24,10 @@ pub trait Problem {
     fn initial_state(&self) -> Self::State;
 
     /// The cost to minimize. Must be finite for every reachable state.
+    /// The engine guards against violations: a non-finite initial cost is
+    /// a typed [`AnnealError`], and a non-finite cost mid-run stops the
+    /// run with [`StopReason::CostError`] while preserving the best
+    /// finite-cost state.
     fn cost(&self, state: &Self::State) -> f64;
 
     /// Randomly perturbs `state` in place.
@@ -88,6 +94,23 @@ pub struct AnnealResult<S> {
     /// Per-temperature snapshots (empty unless
     /// [`Schedule::snapshot_per_temperature`] is set).
     pub snapshots: Vec<TemperatureSnapshot<S>>,
+    /// Why the run stopped.
+    pub stop_reason: StopReason,
+}
+
+/// Mutable engine state between temperature steps — everything a
+/// [`Checkpoint`] captures and a resume restores.
+struct LoopState<S> {
+    rng: ChaCha8Rng,
+    current: S,
+    current_cost: f64,
+    best: S,
+    best_cost: f64,
+    temperature: f64,
+    initial_temperature: f64,
+    steps_done: usize,
+    stats: AnnealStats,
+    snapshots: Vec<TemperatureSnapshot<S>>,
 }
 
 /// A configured annealer. Stateless apart from the schedule; `run` may be
@@ -105,11 +128,19 @@ impl Annealer {
     /// # Panics
     ///
     /// Panics if the schedule parameters are out of range
-    /// (see [`Schedule::validate`]).
+    /// (see [`Schedule::validate`]). Use [`Annealer::try_new`] for a
+    /// recoverable error instead.
     #[must_use]
     pub fn new(schedule: Schedule) -> Annealer {
         schedule.validate();
         Annealer { schedule }
+    }
+
+    /// Creates an annealer, returning a typed error if the schedule
+    /// parameters are out of range.
+    pub fn try_new(schedule: Schedule) -> Result<Annealer, crate::ScheduleError> {
+        schedule.validated()?;
+        Ok(Annealer { schedule })
     }
 
     /// The schedule in use.
@@ -121,57 +152,245 @@ impl Annealer {
     /// Runs one seeded annealing optimization.
     ///
     /// Identical `(problem, seed)` pairs produce identical results.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the initial state's cost is non-finite (a violated
+    /// [`Problem::cost`] contract). Use [`Annealer::run_controlled`] to
+    /// get a typed [`AnnealError`] instead.
     pub fn run<P: Problem>(&self, problem: &P, seed: u64) -> AnnealResult<P::State> {
+        match self.run_controlled(problem, seed, &RunControl::unlimited()) {
+            Ok(result) => result,
+            Err(err) => panic!("annealing run failed: {err}"),
+        }
+    }
+
+    /// Runs one seeded annealing optimization under [`RunControl`] limits
+    /// (deadline, cancellation, move budget).
+    ///
+    /// With [`RunControl::unlimited`] this is exactly [`Annealer::run`].
+    /// When a limit trips, the partial result — best state so far and
+    /// exact statistics — is returned with the corresponding
+    /// [`StopReason`].
+    pub fn run_controlled<P: Problem>(
+        &self,
+        problem: &P,
+        seed: u64,
+        control: &RunControl,
+    ) -> Result<AnnealResult<P::State>, AnnealError> {
+        self.run_with_checkpoints(problem, seed, control, |_| {})
+    }
+
+    /// Like [`Annealer::run_controlled`], additionally emitting a
+    /// [`Checkpoint`] to `sink` every
+    /// [`RunControl::with_checkpoint_every`] completed temperature steps.
+    ///
+    /// Checkpoints are only emitted at temperature-step boundaries, so
+    /// every emitted checkpoint resumes bit-identically. A run
+    /// interrupted *mid*-step resumes from the last emitted boundary
+    /// checkpoint, replaying at most one cadence interval of work.
+    pub fn run_with_checkpoints<P, F>(
+        &self,
+        problem: &P,
+        seed: u64,
+        control: &RunControl,
+        mut sink: F,
+    ) -> Result<AnnealResult<P::State>, AnnealError>
+    where
+        P: Problem,
+        F: FnMut(&Checkpoint<P::State>),
+    {
+        self.schedule.validated()?;
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
-        let mut current = problem.initial_state();
-        let mut current_cost = problem.cost(&current);
-        let mut best = current.clone();
-        let mut best_cost = current_cost;
+        let current = problem.initial_state();
+        let current_cost = problem.cost(&current);
+        if !current_cost.is_finite() {
+            return Err(AnnealError::NonFiniteInitialCost { cost: current_cost });
+        }
 
-        let initial_temperature = self.estimate_initial_temperature(problem, &mut rng);
-        let mut temperature = initial_temperature;
-        let min_temperature = initial_temperature * self.schedule.min_temperature_ratio;
-
-        let mut stats = AnnealStats {
+        let initial_temperature = self.estimate_initial_temperature(problem, &mut rng)?;
+        let state = LoopState {
+            rng,
+            best: current.clone(),
+            best_cost: current_cost,
+            current,
+            current_cost,
+            temperature: initial_temperature,
             initial_temperature,
-            final_temperature: initial_temperature,
-            ..AnnealStats::default()
+            steps_done: 0,
+            stats: AnnealStats {
+                initial_temperature,
+                final_temperature: initial_temperature,
+                ..AnnealStats::default()
+            },
+            snapshots: Vec::new(),
         };
-        let mut snapshots = Vec::new();
+        Ok(self.run_loop(problem, seed, state, control, &mut sink))
+    }
 
-        for _ in 0..self.schedule.max_temperatures {
-            if temperature < min_temperature {
-                break;
+    /// Resumes a run from a [`Checkpoint`], continuing under `control`.
+    ///
+    /// Resuming is **bit-identical**: a run checkpointed at any
+    /// temperature-step boundary and resumed produces exactly the same
+    /// best state, cost, statistics, and snapshots as the same
+    /// `(problem, seed)` run uninterrupted. The checkpoint's format
+    /// version and schedule are validated first; mismatches are typed
+    /// errors, never silent divergence.
+    pub fn resume<P: Problem>(
+        &self,
+        problem: &P,
+        checkpoint: Checkpoint<P::State>,
+        control: &RunControl,
+    ) -> Result<AnnealResult<P::State>, AnnealError> {
+        self.resume_with_checkpoints(problem, checkpoint, control, |_| {})
+    }
+
+    /// Like [`Annealer::resume`], additionally emitting checkpoints on
+    /// the control's cadence (counted from step 0 of the original run,
+    /// so cadence positions match the uninterrupted run's).
+    pub fn resume_with_checkpoints<P, F>(
+        &self,
+        problem: &P,
+        checkpoint: Checkpoint<P::State>,
+        control: &RunControl,
+        mut sink: F,
+    ) -> Result<AnnealResult<P::State>, AnnealError>
+    where
+        P: Problem,
+        F: FnMut(&Checkpoint<P::State>),
+    {
+        if checkpoint.version != FORMAT_VERSION {
+            return Err(AnnealError::CheckpointVersion {
+                found: checkpoint.version,
+                expected: FORMAT_VERSION,
+            });
+        }
+        self.schedule.validated()?;
+        if checkpoint.schedule != self.schedule {
+            return Err(AnnealError::ScheduleMismatch);
+        }
+        if !(checkpoint.initial_temperature.is_finite() && checkpoint.initial_temperature > 0.0) {
+            return Err(AnnealError::CorruptCheckpoint {
+                field: "initial_temperature",
+            });
+        }
+        if !(checkpoint.temperature.is_finite() && checkpoint.temperature > 0.0) {
+            return Err(AnnealError::CorruptCheckpoint {
+                field: "temperature",
+            });
+        }
+        if !checkpoint.current_cost.is_finite() {
+            return Err(AnnealError::CorruptCheckpoint {
+                field: "current_cost",
+            });
+        }
+        if !checkpoint.best_cost.is_finite() {
+            return Err(AnnealError::CorruptCheckpoint { field: "best_cost" });
+        }
+        if checkpoint.steps_done != checkpoint.stats.temperatures {
+            return Err(AnnealError::CorruptCheckpoint {
+                field: "steps_done",
+            });
+        }
+
+        let seed = checkpoint.seed;
+        let state = LoopState {
+            rng: checkpoint.rng,
+            current: checkpoint.current,
+            current_cost: checkpoint.current_cost,
+            best: checkpoint.best,
+            best_cost: checkpoint.best_cost,
+            temperature: checkpoint.temperature,
+            initial_temperature: checkpoint.initial_temperature,
+            steps_done: checkpoint.steps_done,
+            stats: checkpoint.stats,
+            snapshots: checkpoint.snapshots,
+        };
+        Ok(self.run_loop(problem, seed, state, control, &mut sink))
+    }
+
+    /// The shared temperature loop. `state` is either a fresh start or a
+    /// restored checkpoint; both paths execute identical move sequences
+    /// for identical RNG states, which is what makes resume bit-identical.
+    fn run_loop<P: Problem>(
+        &self,
+        problem: &P,
+        seed: u64,
+        mut st: LoopState<P::State>,
+        control: &RunControl,
+        sink: &mut dyn FnMut(&Checkpoint<P::State>),
+    ) -> AnnealResult<P::State> {
+        /// How many moves run between deadline/cancellation polls.
+        /// Polling is cheap but not free; a power of two keeps the check
+        /// branch-predictable.
+        const POLL_INTERVAL: usize = 64;
+
+        let min_temperature = st.initial_temperature * self.schedule.min_temperature_ratio;
+        let mut moves_done = (st.stats.accepted + st.stats.rejected) as u64;
+
+        let stop_reason = 'outer: loop {
+            if st.steps_done >= self.schedule.max_temperatures {
+                break StopReason::MaxTemperatures;
             }
+            if st.temperature < min_temperature {
+                break StopReason::Converged;
+            }
+            if control.cancel_hit() {
+                break StopReason::Cancelled;
+            }
+            if control.deadline_hit() {
+                break StopReason::Deadline;
+            }
+
             let mut step_accepted = 0usize;
-            for _ in 0..self.schedule.moves_per_temperature {
-                let mut candidate = current.clone();
-                problem.perturb(&mut candidate, &mut rng);
+            for move_index in 0..self.schedule.moves_per_temperature {
+                if control.budget_hit(moves_done) {
+                    break 'outer StopReason::MoveBudget;
+                }
+                if move_index % POLL_INTERVAL == POLL_INTERVAL - 1 {
+                    if control.cancel_hit() {
+                        break 'outer StopReason::Cancelled;
+                    }
+                    if control.deadline_hit() {
+                        break 'outer StopReason::Deadline;
+                    }
+                }
+
+                let mut candidate = st.current.clone();
+                problem.perturb(&mut candidate, &mut st.rng);
                 let candidate_cost = problem.cost(&candidate);
-                let delta = candidate_cost - current_cost;
-                let accept = delta <= 0.0 || rng.gen::<f64>() < (-delta / temperature).exp();
+                if !candidate_cost.is_finite() {
+                    // The candidate is poisoned; the best finite-cost
+                    // state found so far is preserved and returned.
+                    break 'outer StopReason::CostError;
+                }
+                moves_done += 1;
+                let delta = candidate_cost - st.current_cost;
+                let accept = delta <= 0.0 || st.rng.gen::<f64>() < (-delta / st.temperature).exp();
                 if accept {
-                    current = candidate;
-                    current_cost = candidate_cost;
+                    st.current = candidate;
+                    st.current_cost = candidate_cost;
                     step_accepted += 1;
-                    if current_cost < best_cost {
-                        best = current.clone();
-                        best_cost = current_cost;
+                    st.stats.accepted += 1;
+                    if st.current_cost < st.best_cost {
+                        st.best = st.current.clone();
+                        st.best_cost = st.current_cost;
                     }
                 } else {
-                    stats.rejected += 1;
+                    st.stats.rejected += 1;
                 }
             }
-            stats.accepted += step_accepted;
-            stats.temperatures += 1;
-            stats.final_temperature = temperature;
+
+            st.stats.temperatures += 1;
+            st.steps_done += 1;
+            st.stats.final_temperature = st.temperature;
             if self.schedule.snapshot_per_temperature {
-                snapshots.push(TemperatureSnapshot {
-                    temperature,
-                    current_state: current.clone(),
-                    current_cost,
-                    best_state: best.clone(),
-                    best_cost,
+                st.snapshots.push(TemperatureSnapshot {
+                    temperature: st.temperature,
+                    current_state: st.current.clone(),
+                    current_cost: st.current_cost,
+                    best_state: st.best.clone(),
+                    best_cost: st.best_cost,
                     acceptance_ratio: step_accepted as f64
                         / self.schedule.moves_per_temperature as f64,
                 });
@@ -179,16 +398,37 @@ impl Annealer {
             // Frozen: a full step with no accepted move cannot thaw at a
             // lower temperature.
             if step_accepted == 0 {
-                break;
+                break StopReason::Frozen;
             }
-            temperature *= self.schedule.cooling;
-        }
+            st.temperature *= self.schedule.cooling;
+
+            if let Some(every) = control.checkpoint_every {
+                if st.steps_done % every == 0 {
+                    sink(&Checkpoint {
+                        version: FORMAT_VERSION,
+                        seed,
+                        schedule: self.schedule,
+                        initial_temperature: st.initial_temperature,
+                        temperature: st.temperature,
+                        steps_done: st.steps_done,
+                        current: st.current.clone(),
+                        current_cost: st.current_cost,
+                        best: st.best.clone(),
+                        best_cost: st.best_cost,
+                        stats: st.stats,
+                        snapshots: st.snapshots.clone(),
+                        rng: st.rng.clone(),
+                    });
+                }
+            }
+        };
 
         AnnealResult {
-            best,
-            best_cost,
-            stats,
-            snapshots,
+            best: st.best,
+            best_cost: st.best_cost,
+            stats: st.stats,
+            snapshots: st.snapshots,
+            stop_reason,
         }
     }
 
@@ -199,7 +439,7 @@ impl Annealer {
         &self,
         problem: &P,
         rng: &mut ChaCha8Rng,
-    ) -> f64 {
+    ) -> Result<f64, AnnealError> {
         const SAMPLES: usize = 64;
         let mut state = problem.initial_state();
         let mut cost = problem.cost(&state);
@@ -209,6 +449,11 @@ impl Annealer {
             let mut candidate = state.clone();
             problem.perturb(&mut candidate, rng);
             let candidate_cost = problem.cost(&candidate);
+            if !candidate_cost.is_finite() {
+                return Err(AnnealError::NonFiniteEstimationCost {
+                    cost: candidate_cost,
+                });
+            }
             let delta = candidate_cost - cost;
             if delta > 0.0 {
                 uphill_sum += delta;
@@ -219,19 +464,26 @@ impl Annealer {
             state = candidate;
             cost = candidate_cost;
         }
-        if uphill_count == 0 {
+        let temperature = if uphill_count == 0 {
             // Flat or monotonically improving landscape: any small positive
             // temperature works; scale to the cost magnitude.
-            return (cost.abs() * 0.01).max(1e-9);
+            (cost.abs() * 0.01).max(1e-9)
+        } else {
+            let avg_uphill = uphill_sum / uphill_count as f64;
+            avg_uphill / (1.0 / self.schedule.initial_acceptance).ln()
+        };
+        if !(temperature.is_finite() && temperature > 0.0) {
+            return Err(AnnealError::InvalidInitialTemperature { temperature });
         }
-        let avg_uphill = uphill_sum / uphill_count as f64;
-        avg_uphill / (1.0 / self.schedule.initial_acceptance).ln()
+        Ok(temperature)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::CancelToken;
+    use std::time::Duration;
 
     /// Discrete quadratic bowl over integers.
     struct Bowl;
@@ -258,6 +510,7 @@ mod tests {
             result.best
         );
         assert!(result.best_cost <= 4.0);
+        assert!(result.stop_reason.is_natural());
     }
 
     #[test]
@@ -267,6 +520,7 @@ mod tests {
         let b = annealer.run(&Bowl, 99);
         assert_eq!(a.best, b.best);
         assert_eq!(a.stats, b.stats);
+        assert_eq!(a.stop_reason, b.stop_reason);
     }
 
     #[test]
@@ -356,5 +610,291 @@ mod tests {
             cooling: 0.0,
             ..Schedule::default()
         });
+    }
+
+    #[test]
+    fn try_new_returns_typed_error() {
+        let err = Annealer::try_new(Schedule {
+            cooling: 0.0,
+            ..Schedule::default()
+        })
+        .unwrap_err();
+        assert_eq!(err, crate::ScheduleError::Cooling(0.0));
+        assert!(Annealer::try_new(Schedule::default()).is_ok());
+    }
+
+    #[test]
+    fn unlimited_control_matches_plain_run() {
+        let annealer = Annealer::new(Schedule::quick());
+        let plain = annealer.run(&Bowl, 17);
+        let controlled = annealer
+            .run_controlled(&Bowl, 17, &RunControl::unlimited())
+            .expect("no limits, finite costs");
+        assert_eq!(plain.best, controlled.best);
+        assert_eq!(plain.best_cost, controlled.best_cost);
+        assert_eq!(plain.stats, controlled.stats);
+        assert_eq!(plain.stop_reason, controlled.stop_reason);
+    }
+
+    #[test]
+    fn move_budget_stops_exactly() {
+        let annealer = Annealer::new(Schedule::quick());
+        let result = annealer
+            .run_controlled(&Bowl, 3, &RunControl::unlimited().with_move_budget(100))
+            .expect("finite costs");
+        assert_eq!(result.stop_reason, StopReason::MoveBudget);
+        assert_eq!(result.stats.accepted + result.stats.rejected, 100);
+    }
+
+    #[test]
+    fn zero_move_budget_returns_initial_state() {
+        let annealer = Annealer::new(Schedule::quick());
+        let result = annealer
+            .run_controlled(&Bowl, 3, &RunControl::unlimited().with_move_budget(0))
+            .expect("finite costs");
+        assert_eq!(result.stop_reason, StopReason::MoveBudget);
+        assert_eq!(result.best, Bowl.initial_state());
+        assert_eq!(result.stats.accepted + result.stats.rejected, 0);
+    }
+
+    #[test]
+    fn cancellation_stops_the_run() {
+        let annealer = Annealer::new(Schedule::quick());
+        let token = CancelToken::new();
+        token.cancel();
+        let result = annealer
+            .run_controlled(&Bowl, 3, &RunControl::unlimited().with_cancel_token(token))
+            .expect("finite costs");
+        assert_eq!(result.stop_reason, StopReason::Cancelled);
+        // Cancelled before any step completed.
+        assert_eq!(result.stats.temperatures, 0);
+    }
+
+    #[test]
+    fn expired_deadline_stops_before_first_step() {
+        let annealer = Annealer::new(Schedule::quick());
+        let result = annealer
+            .run_controlled(
+                &Bowl,
+                3,
+                &RunControl::unlimited().with_time_limit(Duration::ZERO),
+            )
+            .expect("finite costs");
+        assert_eq!(result.stop_reason, StopReason::Deadline);
+        assert_eq!(result.stats.temperatures, 0);
+        // The partial result is still well-formed.
+        assert!(result.best_cost.is_finite());
+    }
+
+    #[test]
+    fn checkpoint_resume_is_bit_identical() {
+        let schedule = Schedule {
+            snapshot_per_temperature: true,
+            ..Schedule::quick()
+        };
+        let annealer = Annealer::new(schedule);
+        let uninterrupted = annealer.run(&Bowl, 42);
+
+        // Capture checkpoints every 5 steps, then resume from each and
+        // check the tail reproduces the uninterrupted run exactly.
+        let mut checkpoints = Vec::new();
+        let control = RunControl::unlimited().with_checkpoint_every(5);
+        let checkpointed = annealer
+            .run_with_checkpoints(&Bowl, 42, &control, |c| checkpoints.push(c.clone()))
+            .expect("finite costs");
+        assert_eq!(checkpointed.best, uninterrupted.best);
+        assert_eq!(checkpointed.stats, uninterrupted.stats);
+        assert!(!checkpoints.is_empty(), "run too short to checkpoint");
+
+        for checkpoint in checkpoints {
+            let resumed = annealer
+                .resume(&Bowl, checkpoint, &RunControl::unlimited())
+                .expect("valid checkpoint");
+            assert_eq!(resumed.best, uninterrupted.best);
+            assert_eq!(resumed.best_cost, uninterrupted.best_cost);
+            assert_eq!(resumed.stats, uninterrupted.stats);
+            assert_eq!(resumed.snapshots.len(), uninterrupted.snapshots.len());
+            assert_eq!(resumed.stop_reason, uninterrupted.stop_reason);
+        }
+    }
+
+    #[test]
+    fn checkpoint_survives_json_and_still_resumes_identically() {
+        let annealer = Annealer::new(Schedule::quick());
+        let uninterrupted = annealer.run(&Bowl, 7);
+
+        let mut last = None;
+        let control = RunControl::unlimited().with_checkpoint_every(3);
+        annealer
+            .run_with_checkpoints(&Bowl, 7, &control, |c| last = Some(c.to_json()))
+            .expect("finite costs");
+        let json = last.expect("at least one checkpoint");
+        let restored: Checkpoint<i64> = Checkpoint::from_json(&json).expect("parse");
+        let resumed = annealer
+            .resume(&Bowl, restored, &RunControl::unlimited())
+            .expect("valid checkpoint");
+        assert_eq!(resumed.best, uninterrupted.best);
+        assert_eq!(resumed.stats, uninterrupted.stats);
+    }
+
+    #[test]
+    fn resume_rejects_schedule_mismatch() {
+        let annealer = Annealer::new(Schedule::quick());
+        let mut checkpoint = None;
+        let control = RunControl::unlimited().with_checkpoint_every(1);
+        annealer
+            .run_with_checkpoints(&Bowl, 1, &control, |c| {
+                if checkpoint.is_none() {
+                    checkpoint = Some(c.clone());
+                }
+            })
+            .expect("finite costs");
+        let checkpoint = checkpoint.expect("one checkpoint");
+
+        let other = Annealer::new(Schedule::default());
+        let err = other
+            .resume(&Bowl, checkpoint, &RunControl::unlimited())
+            .unwrap_err();
+        assert_eq!(err, AnnealError::ScheduleMismatch);
+    }
+
+    #[test]
+    fn resume_rejects_wrong_version_and_corruption() {
+        let annealer = Annealer::new(Schedule::quick());
+        let mut captured = None;
+        let control = RunControl::unlimited().with_checkpoint_every(1);
+        annealer
+            .run_with_checkpoints(&Bowl, 1, &control, |c| {
+                if captured.is_none() {
+                    captured = Some(c.clone());
+                }
+            })
+            .expect("finite costs");
+        let checkpoint = captured.expect("one checkpoint");
+
+        let mut wrong_version = checkpoint.clone();
+        wrong_version.version = 999;
+        assert!(matches!(
+            annealer
+                .resume(&Bowl, wrong_version, &RunControl::unlimited())
+                .unwrap_err(),
+            AnnealError::CheckpointVersion { found: 999, .. }
+        ));
+
+        let mut poisoned = checkpoint.clone();
+        poisoned.best_cost = f64::NAN;
+        assert!(matches!(
+            annealer
+                .resume(&Bowl, poisoned, &RunControl::unlimited())
+                .unwrap_err(),
+            AnnealError::CorruptCheckpoint { field: "best_cost" }
+        ));
+
+        let mut inconsistent = checkpoint;
+        inconsistent.steps_done += 1;
+        assert!(matches!(
+            annealer
+                .resume(&Bowl, inconsistent, &RunControl::unlimited())
+                .unwrap_err(),
+            AnnealError::CorruptCheckpoint {
+                field: "steps_done"
+            }
+        ));
+    }
+
+    /// A problem whose cost turns NaN once the state crosses a threshold.
+    struct PoisonedSlope;
+
+    impl Problem for PoisonedSlope {
+        type State = i64;
+        fn initial_state(&self) -> i64 {
+            0
+        }
+        fn cost(&self, s: &i64) -> f64 {
+            // The threshold sits beyond the estimation walk's maximum
+            // reach (64 steps × 3), so only the main loop can hit it.
+            if *s > 200 {
+                f64::NAN
+            } else {
+                // Downhill toward larger values, luring the walker into
+                // the poisoned region.
+                (1000 - s) as f64
+            }
+        }
+        fn perturb<R: Rng>(&self, s: &mut i64, rng: &mut R) {
+            *s += rng.gen_range(0..=3);
+        }
+    }
+
+    #[test]
+    fn nan_cost_mid_run_stops_gracefully() {
+        let annealer = Annealer::new(Schedule::quick());
+        let result = annealer
+            .run_controlled(&PoisonedSlope, 1, &RunControl::unlimited())
+            .expect("initial cost is finite");
+        assert_eq!(result.stop_reason, StopReason::CostError);
+        // The best state is the last finite-cost one, never poisoned.
+        assert!(result.best <= 200);
+        assert!(result.best_cost.is_finite());
+    }
+
+    /// A problem whose cost is NaN from the start.
+    struct AlwaysNan;
+
+    impl Problem for AlwaysNan {
+        type State = i64;
+        fn initial_state(&self) -> i64 {
+            0
+        }
+        fn cost(&self, _: &i64) -> f64 {
+            f64::NAN
+        }
+        fn perturb<R: Rng>(&self, s: &mut i64, rng: &mut R) {
+            *s += rng.gen_range(-1..=1);
+        }
+    }
+
+    #[test]
+    fn nan_initial_cost_is_a_typed_error() {
+        let annealer = Annealer::new(Schedule::quick());
+        let err = annealer
+            .run_controlled(&AlwaysNan, 1, &RunControl::unlimited())
+            .unwrap_err();
+        assert!(matches!(err, AnnealError::NonFiniteInitialCost { .. }));
+    }
+
+    #[test]
+    #[should_panic(expected = "annealing run failed")]
+    fn plain_run_panics_on_nan_initial_cost() {
+        let _ = Annealer::new(Schedule::quick()).run(&AlwaysNan, 1);
+    }
+
+    /// Finite initial cost, NaN only during the estimation walk.
+    struct PoisonedNeighbourhood;
+
+    impl Problem for PoisonedNeighbourhood {
+        type State = i64;
+        fn initial_state(&self) -> i64 {
+            0
+        }
+        fn cost(&self, s: &i64) -> f64 {
+            if *s == 0 {
+                1.0
+            } else {
+                f64::NAN
+            }
+        }
+        fn perturb<R: Rng>(&self, s: &mut i64, rng: &mut R) {
+            *s += rng.gen_range(1..=2);
+        }
+    }
+
+    #[test]
+    fn nan_during_estimation_is_a_typed_error() {
+        let annealer = Annealer::new(Schedule::quick());
+        let err = annealer
+            .run_controlled(&PoisonedNeighbourhood, 1, &RunControl::unlimited())
+            .unwrap_err();
+        assert!(matches!(err, AnnealError::NonFiniteEstimationCost { .. }));
     }
 }

@@ -34,12 +34,31 @@
 //! let result = Annealer::new(Schedule::default()).run(&Parabola, 42);
 //! assert!((result.best - 3.0).abs() < 1.0);
 //! ```
+//!
+//! # Fault tolerance
+//!
+//! Long runs can be made interruptible and restartable:
+//!
+//! * [`Annealer::run_controlled`] accepts a [`RunControl`] carrying a
+//!   wall-clock deadline, a [`CancelToken`], and/or a total-move budget;
+//!   the partial result reports *why* it stopped via [`StopReason`].
+//! * [`Annealer::run_with_checkpoints`] additionally emits a serializable
+//!   [`Checkpoint`] on a configurable cadence, and [`Annealer::resume`]
+//!   continues from one **bit-identically** — same best state, cost, and
+//!   statistics as the uninterrupted run.
+//! * Non-finite costs are surfaced as typed [`AnnealError`]s (at startup)
+//!   or a graceful [`StopReason::CostError`] (mid-run) instead of
+//!   corrupting the best state.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod checkpoint;
+mod control;
 mod engine;
 mod schedule;
 
+pub use checkpoint::{Checkpoint, CheckpointIoError, FORMAT_VERSION};
+pub use control::{AnnealError, CancelToken, RunControl, StopReason};
 pub use engine::{AnnealResult, AnnealStats, Annealer, Problem, TemperatureSnapshot};
-pub use schedule::Schedule;
+pub use schedule::{Schedule, ScheduleError};

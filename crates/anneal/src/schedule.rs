@@ -1,6 +1,44 @@
 //! Annealing schedule parameters.
 
+use std::fmt;
+
 use serde::{Deserialize, Serialize};
+
+/// A schedule parameter that failed validation.
+///
+/// Returned by [`Schedule::validated`]; the panicking
+/// [`Schedule::validate`] formats these into its messages.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ScheduleError {
+    /// `initial_acceptance` outside (0, 1).
+    InitialAcceptance(f64),
+    /// `cooling` outside (0, 1).
+    Cooling(f64),
+    /// `moves_per_temperature` is zero.
+    ZeroMoves,
+    /// `min_temperature_ratio` outside (0, 1).
+    MinTemperatureRatio(f64),
+    /// `max_temperatures` is zero.
+    ZeroMaxTemperatures,
+}
+
+impl fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScheduleError::InitialAcceptance(v) => {
+                write!(f, "initial_acceptance must be in (0, 1), got {v}")
+            }
+            ScheduleError::Cooling(v) => write!(f, "cooling must be in (0, 1), got {v}"),
+            ScheduleError::ZeroMoves => write!(f, "moves_per_temperature must be positive"),
+            ScheduleError::MinTemperatureRatio(v) => {
+                write!(f, "min_temperature_ratio must be in (0, 1), got {v}")
+            }
+            ScheduleError::ZeroMaxTemperatures => write!(f, "max_temperatures must be positive"),
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {}
 
 /// Parameters of the geometric annealing schedule.
 ///
@@ -43,28 +81,38 @@ impl Schedule {
     /// # Panics
     ///
     /// Panics with a descriptive message if a parameter is out of range.
-    /// Called by the engine before running.
+    /// Called by the engine before running. Prefer [`Schedule::validated`]
+    /// when the schedule comes from untrusted input (a config file, a
+    /// checkpoint) and a recoverable error is wanted.
     pub fn validate(&self) {
-        assert!(
-            self.initial_acceptance > 0.0 && self.initial_acceptance < 1.0,
-            "initial_acceptance must be in (0, 1), got {}",
-            self.initial_acceptance
-        );
-        assert!(
-            self.cooling > 0.0 && self.cooling < 1.0,
-            "cooling must be in (0, 1), got {}",
-            self.cooling
-        );
-        assert!(
-            self.moves_per_temperature > 0,
-            "moves_per_temperature must be positive"
-        );
-        assert!(
-            self.min_temperature_ratio > 0.0 && self.min_temperature_ratio < 1.0,
-            "min_temperature_ratio must be in (0, 1), got {}",
-            self.min_temperature_ratio
-        );
-        assert!(self.max_temperatures > 0, "max_temperatures must be positive");
+        if let Err(err) = self.validated() {
+            panic!("{err}");
+        }
+    }
+
+    /// Checks the parameter ranges, returning the first violation as a
+    /// typed error instead of panicking.
+    pub fn validated(&self) -> Result<(), ScheduleError> {
+        // NaN fails both comparisons, so non-finite values are rejected
+        // along with out-of-range ones.
+        if !(self.initial_acceptance > 0.0 && self.initial_acceptance < 1.0) {
+            return Err(ScheduleError::InitialAcceptance(self.initial_acceptance));
+        }
+        if !(self.cooling > 0.0 && self.cooling < 1.0) {
+            return Err(ScheduleError::Cooling(self.cooling));
+        }
+        if self.moves_per_temperature == 0 {
+            return Err(ScheduleError::ZeroMoves);
+        }
+        if !(self.min_temperature_ratio > 0.0 && self.min_temperature_ratio < 1.0) {
+            return Err(ScheduleError::MinTemperatureRatio(
+                self.min_temperature_ratio,
+            ));
+        }
+        if self.max_temperatures == 0 {
+            return Err(ScheduleError::ZeroMaxTemperatures);
+        }
+        Ok(())
     }
 
     /// A faster schedule for tests and smoke runs.
@@ -102,6 +150,41 @@ mod tests {
     fn default_is_valid() {
         Schedule::default().validate();
         Schedule::quick().validate();
+        assert_eq!(Schedule::default().validated(), Ok(()));
+        assert_eq!(Schedule::quick().validated(), Ok(()));
+    }
+
+    #[test]
+    fn validated_returns_typed_errors() {
+        let bad = Schedule {
+            cooling: 1.5,
+            ..Schedule::default()
+        };
+        assert_eq!(bad.validated(), Err(ScheduleError::Cooling(1.5)));
+
+        let bad = Schedule {
+            initial_acceptance: f64::NAN,
+            ..Schedule::default()
+        };
+        assert!(matches!(
+            bad.validated(),
+            Err(ScheduleError::InitialAcceptance(_))
+        ));
+
+        let bad = Schedule {
+            min_temperature_ratio: 0.0,
+            ..Schedule::default()
+        };
+        assert_eq!(
+            bad.validated(),
+            Err(ScheduleError::MinTemperatureRatio(0.0))
+        );
+
+        let bad = Schedule {
+            max_temperatures: 0,
+            ..Schedule::default()
+        };
+        assert_eq!(bad.validated(), Err(ScheduleError::ZeroMaxTemperatures));
     }
 
     #[test]

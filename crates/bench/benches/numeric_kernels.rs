@@ -33,7 +33,11 @@ fn bench_scalar_kernels(c: &mut Criterion) {
         b.iter(|| normal_pdf(black_box(1.3), black_box(2.0), black_box(0.7)))
     });
     group.bench_function("simpson_6_gaussian", |b| {
-        b.iter(|| simpson(black_box(0.0), black_box(10.0), 6, |x| normal_pdf(x, 5.0, 1.5)))
+        b.iter(|| {
+            simpson(black_box(0.0), black_box(10.0), 6, |x| {
+                normal_pdf(x, 5.0, 1.5)
+            })
+        })
     });
     group.finish();
 }

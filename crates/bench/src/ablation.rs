@@ -7,8 +7,7 @@ use std::time::Instant;
 
 use irgrid::anneal::{Annealer, Schedule};
 use irgrid::congestion::{
-    ApproxConfig, CellArithmetic, CongestionModel, Evaluator, FixedGridModel,
-    IrregularGridModel,
+    ApproxConfig, CellArithmetic, CongestionModel, Evaluator, FixedGridModel, IrregularGridModel,
 };
 use irgrid::floorplanner::{FloorplanProblem, Weights};
 use irgrid::geom::{Point, Um};
@@ -45,13 +44,20 @@ pub fn run(bench: McncCircuit) {
     let segments = &eval.segments;
     let reps = 50;
 
-    println!("\n=== Ablation on {bench} ({} segments, chip {:.2} mm^2) ===", segments.len(), chip.area().as_mm2());
+    println!(
+        "\n=== Ablation on {bench} ({} segments, chip {:.2} mm^2) ===",
+        segments.len(),
+        chip.area().as_mm2()
+    );
 
     // Reference: exact Formula 3 scoring.
     let exact_model = IrregularGridModel::new(pitch).with_evaluator(Evaluator::Exact);
     let (exact_cost, exact_ms) = time_model(&exact_model, &chip, segments, reps);
     println!("\n(a) evaluator + Simpson intervals (reference: exact Formula 3 = {exact_cost:.5}, {exact_ms:.3} ms):");
-    println!("{:>10} {:>12} {:>12} {:>12}", "intervals", "cost", "rel err", "eval (ms)");
+    println!(
+        "{:>10} {:>12} {:>12} {:>12}",
+        "intervals", "cost", "rel err", "eval (ms)"
+    );
     for intervals in [2usize, 4, 6, 8, 16, 32] {
         let model = IrregularGridModel::new(pitch).with_approx_config(ApproxConfig {
             simpson_intervals: intervals,
@@ -69,7 +75,10 @@ pub fn run(bench: McncCircuit) {
 
     // Continuity correction.
     println!("\n(b) continuity correction (±0.5 integration bounds):");
-    for (label, correction) in [("on (default)", true), ("off (paper's literal bounds)", false)] {
+    for (label, correction) in [
+        ("on (default)", true),
+        ("off (paper's literal bounds)", false),
+    ] {
         let model = IrregularGridModel::new(pitch).with_approx_config(ApproxConfig {
             simpson_intervals: 6,
             continuity_correction: correction,
@@ -86,7 +95,10 @@ pub fn run(bench: McncCircuit) {
 
     // Cutting-line merging.
     println!("\n(c) Algorithm step 2 line merging:");
-    for (label, merge) in [("on (default, 2x pitch)", true), ("off (dedup only)", false)] {
+    for (label, merge) in [
+        ("on (default, 2x pitch)", true),
+        ("off (dedup only)", false),
+    ] {
         let model = if merge {
             IrregularGridModel::new(pitch)
         } else {
@@ -151,8 +163,14 @@ pub fn run(bench: McncCircuit) {
     println!("\n(e) multi-pin net decomposition:");
     let placer = irgrid::floorplan::PinPlacer::new(pitch);
     for (label, decomposition) in [
-        ("MST (paper, Section 5)", irgrid::floorplan::Decomposition::Mst),
-        ("star from centroid hub", irgrid::floorplan::Decomposition::Star),
+        (
+            "MST (paper, Section 5)",
+            irgrid::floorplan::Decomposition::Mst,
+        ),
+        (
+            "star from centroid hub",
+            irgrid::floorplan::Decomposition::Star,
+        ),
     ] {
         let segs = irgrid::floorplan::two_pin_segments_with(
             &circuit,

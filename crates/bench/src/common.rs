@@ -1,13 +1,66 @@
 //! Shared experiment machinery: run modes, seeded floorplanner runs, and
 //! aggregate statistics in the paper's "average / best of N seeds" form.
 
-use std::time::Instant;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
 
-use irgrid::anneal::{Annealer, Schedule};
+use irgrid::anneal::{Annealer, Checkpoint, RunControl, Schedule, StopReason};
 use irgrid::congestion::{CongestionModel, FixedGridModel};
 use irgrid::floorplanner::{FloorplanEval, FloorplanProblem, Weights};
 use irgrid::geom::Um;
 use irgrid::netlist::Circuit;
+
+/// Fault-tolerance options shared by every batch in an invocation:
+/// a wall-clock deadline and checkpoint/resume directories.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct FaultOptions {
+    /// Stop all annealing at this instant; remaining seeds are skipped.
+    pub deadline: Option<Instant>,
+    /// Write a checkpoint per `(circuit, weights, pitch, seed)` run into
+    /// this directory every [`FaultOptions::CHECKPOINT_EVERY`] steps.
+    pub checkpoint_dir: Option<&'static str>,
+    /// Before each seed run, look for a matching checkpoint in this
+    /// directory and resume from it instead of starting fresh.
+    pub resume_dir: Option<&'static str>,
+}
+
+impl FaultOptions {
+    /// Checkpoint cadence in temperature steps.
+    pub const CHECKPOINT_EVERY: usize = 10;
+
+    /// The checkpoint file for one seeded run, unique per
+    /// `(circuit, weights, pitch, seed)` so concurrent batches over the
+    /// same circuit (e.g. Table 1 baseline vs Table 2) never collide.
+    pub fn checkpoint_file(
+        dir: &str,
+        circuit: &Circuit,
+        pitch: Um,
+        weights: Weights,
+        seed: u64,
+    ) -> PathBuf {
+        let tag = format!(
+            "{}_a{}w{}c{}_p{}_s{seed}.ckpt.json",
+            circuit.name(),
+            weights.area,
+            weights.wire,
+            weights.congestion,
+            pitch.0,
+        );
+        PathBuf::from(dir).join(tag)
+    }
+
+    /// The [`RunControl`] these options induce.
+    pub fn control(&self) -> RunControl {
+        let mut control = RunControl::unlimited();
+        if let Some(deadline) = self.deadline {
+            control = control.with_deadline(deadline);
+        }
+        if self.checkpoint_dir.is_some() {
+            control = control.with_checkpoint_every(Self::CHECKPOINT_EVERY);
+        }
+        control
+    }
+}
 
 /// How much compute an experiment run spends.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -18,6 +71,8 @@ pub struct Mode {
     pub schedule: Schedule,
     /// Label printed in headers.
     pub label: &'static str,
+    /// Deadline / checkpoint / resume options.
+    pub fault: FaultOptions,
 }
 
 impl Mode {
@@ -27,6 +82,7 @@ impl Mode {
             seeds: 2,
             schedule: Schedule::quick(),
             label: "quick (2 seeds, short schedule)",
+            fault: FaultOptions::default(),
         }
     }
 
@@ -41,6 +97,7 @@ impl Mode {
                 ..Schedule::default()
             },
             label: "standard (3 seeds, medium schedule)",
+            fault: FaultOptions::default(),
         }
     }
 
@@ -50,19 +107,58 @@ impl Mode {
             seeds: 20,
             schedule: Schedule::default(),
             label: "full (20 seeds, classic schedule)",
+            fault: FaultOptions::default(),
         }
     }
 
-    /// Parses `--quick` / `--full` flags (default standard).
+    /// Parses `--quick` / `--full` flags (default standard) plus the
+    /// fault-tolerance flags `--time-limit <seconds>`,
+    /// `--checkpoint <dir>`, and `--resume <dir>`.
     pub fn from_args(args: &[String]) -> Mode {
-        if args.iter().any(|a| a == "--quick") {
+        let mut mode = if args.iter().any(|a| a == "--quick") {
             Mode::quick()
         } else if args.iter().any(|a| a == "--full") {
             Mode::full()
         } else {
             Mode::standard()
-        }
+        };
+        mode.fault = FaultOptions {
+            deadline: flag_value(args, "--time-limit").map(|text| {
+                let seconds: f64 = text
+                    .parse()
+                    .unwrap_or_else(|_| die(&format!("--time-limit `{text}` is not a number")));
+                if !(seconds.is_finite() && seconds >= 0.0) {
+                    die(&format!("--time-limit must be non-negative, got {seconds}"));
+                }
+                Instant::now() + Duration::from_secs_f64(seconds)
+            }),
+            checkpoint_dir: flag_value(args, "--checkpoint").map(leak),
+            resume_dir: flag_value(args, "--resume").map(leak),
+        };
+        mode
     }
+}
+
+/// The value following a `--flag`, if present.
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    let position = args.iter().position(|a| a == flag)?;
+    match args.get(position + 1) {
+        Some(value) if !value.starts_with("--") => Some(value),
+        _ => die(&format!("{flag} needs a value")),
+    }
+}
+
+/// Leaks a flag value so it can live in the `Copy` [`Mode`]; bounded by
+/// the argument list, fine for a CLI process.
+fn leak(text: &str) -> &'static str {
+    Box::leak(text.to_owned().into_boxed_str())
+}
+
+/// Prints a usage error and exits (exit code 2, like the unknown-command
+/// path in `main`).
+fn die(message: &str) -> ! {
+    eprintln!("{message}");
+    std::process::exit(2);
 }
 
 /// One seeded floorplanner run's reported fields.
@@ -87,7 +183,15 @@ pub struct RunOutcome {
 
 /// Runs the annealing floorplanner once per seed and judges every final
 /// floorplan with the 10 µm fixed-grid judging model.
-pub fn run_batch<M: CongestionModel>(
+///
+/// Honors the mode's [`FaultOptions`]: runs stop at the shared deadline
+/// (remaining seeds are skipped), write checkpoints on a cadence when a
+/// checkpoint directory is set, and resume from matching checkpoint files
+/// when a resume directory is set. A failed run (typed [`AnnealError`])
+/// is reported on stderr and skipped, never a panic.
+///
+/// [`AnnealError`]: irgrid::anneal::AnnealError
+pub fn run_batch<M>(
     circuit: &Circuit,
     pitch: Um,
     weights: Weights,
@@ -95,30 +199,77 @@ pub fn run_batch<M: CongestionModel>(
     mode: &Mode,
 ) -> Vec<RunOutcome>
 where
-    M: Clone,
+    M: CongestionModel + Clone,
 {
     let judging = FixedGridModel::judging();
     let problem = FloorplanProblem::new(circuit, pitch, weights, model);
     let annealer = Annealer::new(mode.schedule);
-    (0..mode.seeds)
-        .map(|seed| {
-            let start = Instant::now();
-            let result = annealer.run(&problem, seed);
-            let time_s = start.elapsed().as_secs_f64();
-            let eval = problem.evaluate(&result.best);
-            let judging_cost = judging.evaluate(&eval.placement.chip(), &eval.segments);
-            RunOutcome {
-                seed,
-                anneal_cost: result.best_cost,
-                area_mm2: eval.area_um2 / 1e6,
-                wire_um: eval.wirelength_um,
-                time_s,
-                model_cost: eval.congestion,
-                judging_cost,
-                eval,
+    let control = mode.fault.control();
+
+    let mut outcomes = Vec::new();
+    for seed in 0..mode.seeds {
+        let start = Instant::now();
+        let checkpoint_path = mode.fault.checkpoint_dir.map(|dir| {
+            let path = FaultOptions::checkpoint_file(dir, circuit, pitch, weights, seed);
+            if let Some(parent) = path.parent() {
+                let _ = std::fs::create_dir_all(parent);
             }
-        })
-        .collect()
+            path
+        });
+        let mut sink = |checkpoint: &Checkpoint<irgrid::floorplan::PolishExpr>| {
+            if let Some(path) = &checkpoint_path {
+                if let Err(err) = checkpoint.write_file(path) {
+                    eprintln!("warning: {err}");
+                }
+            }
+        };
+
+        let resumed_from = mode
+            .fault
+            .resume_dir
+            .map(|dir| FaultOptions::checkpoint_file(dir, circuit, pitch, weights, seed));
+        let run = match resumed_from.filter(|path| path.exists()) {
+            Some(path) => match Checkpoint::read_file(&path) {
+                Ok(checkpoint) => {
+                    annealer.resume_with_checkpoints(&problem, checkpoint, &control, &mut sink)
+                }
+                Err(err) => {
+                    eprintln!("warning: ignoring checkpoint {}: {err}", path.display());
+                    annealer.run_with_checkpoints(&problem, seed, &control, &mut sink)
+                }
+            },
+            None => annealer.run_with_checkpoints(&problem, seed, &control, &mut sink),
+        };
+        let result = match run {
+            Ok(result) => result,
+            Err(err) => {
+                eprintln!("warning: seed {seed} on {}: {err}", circuit.name());
+                continue;
+            }
+        };
+
+        let time_s = start.elapsed().as_secs_f64();
+        let eval = problem.evaluate(&result.best);
+        let judging_cost = judging.evaluate(&eval.placement.chip(), &eval.segments);
+        outcomes.push(RunOutcome {
+            seed,
+            anneal_cost: result.best_cost,
+            area_mm2: eval.area_um2 / 1e6,
+            wire_um: eval.wirelength_um,
+            time_s,
+            model_cost: eval.congestion,
+            judging_cost,
+            eval,
+        });
+        if result.stop_reason == StopReason::Deadline {
+            eprintln!(
+                "time limit reached during seed {seed} on {}; skipping remaining seeds",
+                circuit.name()
+            );
+            break;
+        }
+    }
+    outcomes
 }
 
 /// The paper's "average results" row.
@@ -144,7 +295,7 @@ pub fn aggregate(outcomes: &[RunOutcome]) -> (Row, Row) {
     };
     let best_run = outcomes
         .iter()
-        .min_by(|a, b| a.anneal_cost.partial_cmp(&b.anneal_cost).expect("finite"))
+        .min_by(|a, b| a.anneal_cost.total_cmp(&b.anneal_cost))
         .expect("non-empty");
     let best = Row {
         area_mm2: best_run.area_mm2,
@@ -179,9 +330,15 @@ mod tests {
     #[test]
     fn mode_flag_parsing() {
         let args = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
-        assert_eq!(Mode::from_args(&args(&["--quick"])).seeds, Mode::quick().seeds);
+        assert_eq!(
+            Mode::from_args(&args(&["--quick"])).seeds,
+            Mode::quick().seeds
+        );
         assert_eq!(Mode::from_args(&args(&["--full"])).seeds, 20);
-        assert_eq!(Mode::from_args(&args(&["table1"])).seeds, Mode::standard().seeds);
+        assert_eq!(
+            Mode::from_args(&args(&["table1"])).seeds,
+            Mode::standard().seeds
+        );
     }
 
     #[test]
@@ -193,11 +350,15 @@ mod tests {
 
     #[test]
     fn aggregate_averages_and_picks_best() {
-        let circuit = CircuitGenerator::new("agg", 6, 10).seed(1).generate().expect("valid");
+        let circuit = CircuitGenerator::new("agg", 6, 10)
+            .seed(1)
+            .generate()
+            .expect("valid");
         let mode = Mode {
             seeds: 3,
             schedule: irgrid::anneal::Schedule::quick(),
             label: "test",
+            fault: FaultOptions::default(),
         };
         let outcomes = run_batch(
             &circuit,

@@ -23,7 +23,10 @@ pub fn run(mode: &Mode, circuits: &[McncCircuit]) -> Vec<Exp1Results> {
         .map(|&bench| {
             let circuit = bench.circuit();
             let pitch = Um(bench.paper_grid_pitch_um());
-            eprintln!("[exp1] {bench}: baseline floorplanner ({} seeds)...", mode.seeds);
+            eprintln!(
+                "[exp1] {bench}: baseline floorplanner ({} seeds)...",
+                mode.seeds
+            );
             let baseline = run_batch(
                 &circuit,
                 pitch,
@@ -53,10 +56,21 @@ pub fn run(mode: &Mode, circuits: &[McncCircuit]) -> Vec<Exp1Results> {
 }
 
 pub fn print_table1(results: &[Exp1Results], mode: &Mode) {
-    header("Table 1: results with area+wirelength floorplanner (no congestion term)", mode);
+    header(
+        "Table 1: results with area+wirelength floorplanner (no congestion term)",
+        mode,
+    );
     println!(
         "{:<8} | {:>10} {:>12} {:>8} {:>12} | {:>10} {:>12} {:>8} {:>12}",
-        "", "avg area", "avg wire", "avg t", "avg judging", "best area", "best wire", "best t", "best judging"
+        "",
+        "avg area",
+        "avg wire",
+        "avg t",
+        "avg judging",
+        "best area",
+        "best wire",
+        "best t",
+        "best judging"
     );
     println!(
         "{:<8} | {:>10} {:>12} {:>8} {:>12} | {:>10} {:>12} {:>8} {:>12}",
@@ -79,16 +93,39 @@ pub fn print_table1(results: &[Exp1Results], mode: &Mode) {
 }
 
 pub fn print_table2(results: &[Exp1Results], mode: &Mode) {
-    header("Table 2: results with the Irregular-Grid congestion term in the cost", mode);
-    println!(
-        "{:<8} {:>6} | {:>10} {:>12} {:>10} {:>8} {:>12} | {:>10} {:>12} {:>10} {:>8} {:>12}",
-        "", "pitch", "avg area", "avg wire", "avg IR", "avg t", "avg judging",
-        "best area", "best wire", "best IR", "best t", "best judging"
+    header(
+        "Table 2: results with the Irregular-Grid congestion term in the cost",
+        mode,
     );
     println!(
         "{:<8} {:>6} | {:>10} {:>12} {:>10} {:>8} {:>12} | {:>10} {:>12} {:>10} {:>8} {:>12}",
-        "circuit", "(um)", "(mm^2)", "(um)", "cgt", "(s)", "cgt cost",
-        "(mm^2)", "(um)", "cgt", "(s)", "cgt cost"
+        "",
+        "pitch",
+        "avg area",
+        "avg wire",
+        "avg IR",
+        "avg t",
+        "avg judging",
+        "best area",
+        "best wire",
+        "best IR",
+        "best t",
+        "best judging"
+    );
+    println!(
+        "{:<8} {:>6} | {:>10} {:>12} {:>10} {:>8} {:>12} | {:>10} {:>12} {:>10} {:>8} {:>12}",
+        "circuit",
+        "(um)",
+        "(mm^2)",
+        "(um)",
+        "cgt",
+        "(s)",
+        "cgt cost",
+        "(mm^2)",
+        "(um)",
+        "cgt",
+        "(s)",
+        "cgt cost"
     );
     for r in results {
         println!(
@@ -110,7 +147,10 @@ pub fn print_table2(results: &[Exp1Results], mode: &Mode) {
 }
 
 pub fn print_table3(results: &[Exp1Results], mode: &Mode) {
-    header("Table 3: improvement of Table 2 over Table 1 (positive = better)", mode);
+    header(
+        "Table 3: improvement of Table 2 over Table 1 (positive = better)",
+        mode,
+    );
     println!(
         "{:<8} | {:>9} {:>9} {:>12} | {:>9} {:>9} {:>12}",
         "", "avg area", "avg wire", "avg judging", "best area", "best wire", "best judging"

@@ -21,7 +21,7 @@ fn cell_counts(outcomes: &[RunOutcome], count: impl Fn(&RunOutcome) -> usize) ->
     let avg = outcomes.iter().map(|o| count(o) as f64).sum::<f64>() / outcomes.len() as f64;
     let best = outcomes
         .iter()
-        .min_by(|a, b| a.anneal_cost.partial_cmp(&b.anneal_cost).expect("finite"))
+        .min_by(|a, b| a.anneal_cost.total_cmp(&b.anneal_cost))
         .map(count)
         .expect("non-empty");
     (avg, best)
@@ -35,7 +35,13 @@ pub fn run(mode: &Mode, bench: McncCircuit) {
     let pitch = Um(bench.paper_grid_pitch_um());
     eprintln!("[exp3] {bench}: IR-grid congestion-only floorplanner...");
     let ir_model = IrregularGridModel::new(pitch);
-    let ir_runs = run_batch(&circuit, pitch, Weights::congestion_only(), Some(ir_model), mode);
+    let ir_runs = run_batch(
+        &circuit,
+        pitch,
+        Weights::congestion_only(),
+        Some(ir_model),
+        mode,
+    );
     let (ir_avg, ir_best) = aggregate(&ir_runs);
     let (ir_avg_cells, ir_best_cells) = cell_counts(&ir_runs, |o| {
         IrregularGridModel::new(pitch)
@@ -58,9 +64,14 @@ pub fn run(mode: &Mode, bench: McncCircuit) {
     let mut table5 = Vec::new();
     for p in [100i64, 50] {
         eprintln!("[exp3] {bench}: fixed-grid {p}x{p} congestion-only floorplanner...");
-        let model =
-            FixedGridModel::new(Um(p)).with_arithmetic(CellArithmetic::PerCellGamma);
-        let runs = run_batch(&circuit, Um(p), Weights::congestion_only(), Some(model), mode);
+        let model = FixedGridModel::new(Um(p)).with_arithmetic(CellArithmetic::PerCellGamma);
+        let runs = run_batch(
+            &circuit,
+            Um(p),
+            Weights::congestion_only(),
+            Some(model),
+            mode,
+        );
         let (avg, best) = aggregate(&runs);
         let (avg_cells, best_cells) = cell_counts(&runs, |o| {
             FixedGridModel::new(Um(p))
@@ -105,8 +116,16 @@ pub fn run(mode: &Mode, bench: McncCircuit) {
 fn print_rows(configs: &[Config]) {
     println!(
         "{:<16} {:>6} | {:>9} {:>10} {:>8} {:>12} | {:>9} {:>10} {:>8} {:>12}",
-        "model", "pitch", "avg cells", "avg cgt", "avg t", "avg judging",
-        "best cells", "best cgt", "best t", "best judging"
+        "model",
+        "pitch",
+        "avg cells",
+        "avg cgt",
+        "avg t",
+        "avg judging",
+        "best cells",
+        "best cgt",
+        "best t",
+        "best judging"
     );
     for c in configs {
         println!(

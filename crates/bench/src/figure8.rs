@@ -18,7 +18,10 @@ pub fn run() {
 
     // Figure 8(a)/(b): interior IR-grid with top edge y2 = 15.
     println!("\n(b) x = 10..=20, y2 = 15:");
-    println!("{:>4} {:>12} {:>12} {:>12}", "x", "exact", "approx", "deviation");
+    println!(
+        "{:>4} {:>12} {:>12} {:>12}",
+        "x", "exact", "approx", "deviation"
+    );
     let mut max_dev: f64 = 0.0;
     for x in 10..=20i64 {
         let exact = function1_exact(&range, &lf, x, 15);
@@ -37,7 +40,11 @@ pub fn run() {
     for x in 24..=30i64 {
         let exact = function1_exact(&range, &lf, x, 19);
         let approx = function1_approx(&range, x as f64, 19);
-        let marker = if approx == 0.0 && exact > 0.0 { "  <- guarded (no value)" } else { "" };
+        let marker = if approx == 0.0 && exact > 0.0 {
+            "  <- guarded (no value)"
+        } else {
+            ""
+        };
         println!("{x:>4} {exact:>12.6} {approx:>12.6}{marker}");
     }
 
@@ -51,7 +58,7 @@ pub fn run() {
             devs.push((exact - approx).abs());
         }
     }
-    devs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    devs.sort_by(f64::total_cmp);
     let p99 = devs[(devs.len() as f64 * 0.99) as usize];
     let max = devs[devs.len() - 1];
     println!(

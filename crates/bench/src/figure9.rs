@@ -23,10 +23,7 @@ fn slope_correlation(a: &[f64], b: &[f64]) -> f64 {
     let da: Vec<f64> = a.windows(2).map(|w| w[1] - w[0]).collect();
     let db: Vec<f64> = b.windows(2).map(|w| w[1] - w[0]).collect();
     let n = da.len() as f64;
-    let (ma, mb) = (
-        da.iter().sum::<f64>() / n,
-        db.iter().sum::<f64>() / n,
-    );
+    let (ma, mb) = (da.iter().sum::<f64>() / n, db.iter().sum::<f64>() / n);
     let mut num = 0.0;
     let (mut va, mut vb) = (0.0, 0.0);
     for i in 0..da.len() {

@@ -19,9 +19,12 @@
 //!   all         Everything above
 //!
 //! flags:
-//!   --quick       2 seeds, short schedule (smoke run)
-//!   --full        20 seeds, classic schedule (paper protocol)
-//!   --circuit X   restrict exp1 to one circuit (apte/xerox/hp/ami33/ami49)
+//!   --quick           2 seeds, short schedule (smoke run)
+//!   --full            20 seeds, classic schedule (paper protocol)
+//!   --circuit X       restrict exp1 to one circuit (apte/xerox/hp/ami33/ami49)
+//!   --time-limit S    stop annealing after S seconds (partial results kept)
+//!   --checkpoint DIR  write per-run checkpoints into DIR every 10 steps
+//!   --resume DIR      resume runs from matching checkpoints in DIR
 //! ```
 
 mod ablation;
@@ -49,9 +52,15 @@ fn main() {
 
     let circuits: Vec<McncCircuit> = match args.iter().position(|a| a == "--circuit") {
         Some(i) => {
-            let name = args.get(i + 1).expect("--circuit needs a name");
-            vec![McncCircuit::from_name(name)
-                .unwrap_or_else(|| panic!("unknown circuit `{name}`"))]
+            let Some(name) = args.get(i + 1).filter(|a| !a.starts_with("--")) else {
+                eprintln!("--circuit needs a name (apte/xerox/hp/ami33/ami49)");
+                std::process::exit(2);
+            };
+            let Some(circuit) = McncCircuit::from_name(name) else {
+                eprintln!("unknown circuit `{name}` (expected apte/xerox/hp/ami33/ami49)");
+                std::process::exit(2);
+            };
+            vec![circuit]
         }
         None => McncCircuit::ALL.to_vec(),
     };
@@ -85,7 +94,11 @@ fn main() {
         "heatmap" => heatmap::run(single),
         "sweep" => sweep::run(single),
         "validate" => {
-            let n = if args.iter().any(|a| a == "--quick") { 6 } else { 12 };
+            let n = if args.iter().any(|a| a == "--quick") {
+                6
+            } else {
+                12
+            };
             validate::run(single, n);
         }
         "all" => {

@@ -43,10 +43,22 @@ pub fn run(bench: McncCircuit, floorplans: usize) {
     eprintln!("[validate] {bench}: routing {floorplans} random floorplans...");
 
     let models: Vec<(&str, Box<dyn CongestionModel>)> = vec![
-        ("lz-shape (Lou et al. [3])", Box::new(LzShapeModel::new(pitch))),
-        ("fixed-grid (Sham-Young [4])", Box::new(FixedGridModel::new(pitch))),
-        ("fixed-grid judging 10um", Box::new(FixedGridModel::judging())),
-        ("irregular-grid (this paper)", Box::new(IrregularGridModel::new(pitch))),
+        (
+            "lz-shape (Lou et al. [3])",
+            Box::new(LzShapeModel::new(pitch)),
+        ),
+        (
+            "fixed-grid (Sham-Young [4])",
+            Box::new(FixedGridModel::new(pitch)),
+        ),
+        (
+            "fixed-grid judging 10um",
+            Box::new(FixedGridModel::judging()),
+        ),
+        (
+            "irregular-grid (this paper)",
+            Box::new(IrregularGridModel::new(pitch)),
+        ),
     ];
     // Capacity chosen so typical floorplans route with real contention
     // (non-trivial overflow/detours) — otherwise there is nothing for the

@@ -26,7 +26,11 @@ impl Raster {
     /// Panics if `values.len() != cols * rows`.
     #[must_use]
     pub fn new(cols: usize, rows: usize, values: Vec<f64>) -> Raster {
-        assert_eq!(values.len(), cols * rows, "raster dimensions disagree with value count");
+        assert_eq!(
+            values.len(),
+            cols * rows,
+            "raster dimensions disagree with value count"
+        );
         Raster { cols, rows, values }
     }
 
@@ -174,7 +178,11 @@ pub fn compare(a: &Raster, b: &Raster, fraction: f64) -> MapComparison {
     };
 
     // Scale-free MAE: rescale b to a's mean.
-    let scale = if mb.abs() < f64::MIN_POSITIVE { 0.0 } else { ma / mb };
+    let scale = if mb.abs() < f64::MIN_POSITIVE {
+        0.0
+    } else {
+        ma / mb
+    };
     let scaled_mae = a
         .values
         .iter()
@@ -270,7 +278,11 @@ mod tests {
         let ir = IrregularGridModel::new(Um(30)).congestion_map(&chip(), &segments());
         let c = compare(&Raster::from_fixed(&fixed), &Raster::from_ir(&ir), 0.1);
         assert!(c.pearson > 0.5, "spatial correlation {}", c.pearson);
-        assert!(c.hotspot_jaccard > 0.2, "hotspot overlap {}", c.hotspot_jaccard);
+        assert!(
+            c.hotspot_jaccard > 0.2,
+            "hotspot overlap {}",
+            c.hotspot_jaccard
+        );
     }
 
     #[test]

@@ -299,8 +299,9 @@ mod tests {
         let model = FixedGridModel::new(Um(30));
         // Ten overlapping nets through one corridor vs ten spread nets.
         let hot: Vec<(Point, Point)> = (0..10).map(|_| (pt(15, 45), pt(255, 45))).collect();
-        let spread: Vec<(Point, Point)> =
-            (0..10).map(|i| (pt(15, 15 + 30 * i), pt(255, 15 + 30 * i))).collect();
+        let spread: Vec<(Point, Point)> = (0..10)
+            .map(|i| (pt(15, 15 + 30 * i), pt(255, 15 + 30 * i)))
+            .collect();
         let hot_cost = model.evaluate(&chip(300, 300), &hot);
         let spread_cost = model.evaluate(&chip(300, 300), &spread);
         assert!(

@@ -45,7 +45,10 @@ impl UnitGrid {
             chip.ll() == Point::ORIGIN,
             "chip must sit at the origin, got {chip}"
         );
-        assert!(!chip.is_degenerate(), "chip must have positive area, got {chip}");
+        assert!(
+            !chip.is_degenerate(),
+            "chip must have positive area, got {chip}"
+        );
         UnitGrid {
             pitch,
             cols: chip.width().div_ceil(pitch),
@@ -154,7 +157,10 @@ mod tests {
     fn cell_rect_roundtrip() {
         let g = UnitGrid::new(&chip(90, 90), Um(30));
         let r = g.cell_rect(1, 2);
-        assert_eq!(r, Rect::from_origin_size(Point::new(Um(30), Um(60)), Um(30), Um(30)));
+        assert_eq!(
+            r,
+            Rect::from_origin_size(Point::new(Um(30), Um(60)), Um(30), Um(30))
+        );
         assert_eq!(g.cell_of(r.ll()), (1, 2));
     }
 

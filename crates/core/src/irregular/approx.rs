@@ -59,7 +59,10 @@ pub fn block_probability_approx(
     y2: i64,
     config: &ApproxConfig,
 ) -> f64 {
-    assert!(x1 <= x2 && y1 <= y2, "inverted block [{x1},{x2}]x[{y1},{y2}]");
+    assert!(
+        x1 <= x2 && y1 <= y2,
+        "inverted block [{x1},{x2}]x[{y1},{y2}]"
+    );
     assert!(
         x1 >= 0 && y1 >= 0 && x2 < range.g1() && y2 < range.g2(),
         "block [{x1},{x2}]x[{y1},{y2}] outside {}x{} range",
@@ -74,7 +77,11 @@ pub fn block_probability_approx(
         NetType::TypeII => (g2 - 1 - y2, g2 - 1 - y1),
     };
 
-    let correction = if config.continuity_correction { 0.5 } else { 0.0 };
+    let correction = if config.continuity_correction {
+        0.5
+    } else {
+        0.0
+    };
     let mut p = 0.0;
 
     // Exits upward through the top row: zero when the block touches the
@@ -327,7 +334,10 @@ mod tests {
             for x in [1, g1 / 2, g1 - 3] {
                 let exact = block_probability_exact(&range, &lf, x, x, 0, g2 - 1);
                 let approx = block_probability_approx(&range, x, x, 0, g2 - 1, &config);
-                assert!((exact - 1.0).abs() < 1e-9, "{g1}x{g2} strip x={x}: exact {exact}");
+                assert!(
+                    (exact - 1.0).abs() < 1e-9,
+                    "{g1}x{g2} strip x={x}: exact {exact}"
+                );
                 assert!(
                     (approx - 1.0).abs() < 0.05,
                     "{g1}x{g2} strip x={x}: approx {approx}"
@@ -372,7 +382,10 @@ mod tests {
         let range = RoutingRange::from_cells(0, 0, 31, 21, NetType::TypeI);
         // Degenerate integration interval: the known weakness the flag
         // documents (and the ablation bench quantifies).
-        assert_eq!(block_probability_approx(&range, 15, 15, 10, 10, &config), 0.0);
+        assert_eq!(
+            block_probability_approx(&range, 15, 15, 10, 10, &config),
+            0.0
+        );
     }
 
     #[test]

@@ -22,7 +22,11 @@
 /// The result always starts at 0 and ends at `boundary`, with consecutive
 /// cuts at least `min_gap` apart (except possibly the final interval,
 /// which is kept at least 1 wide).
-pub(crate) fn merged_cuts(boundary: i64, raw_cuts: impl IntoIterator<Item = i64>, min_gap: i64) -> Vec<i64> {
+pub(crate) fn merged_cuts(
+    boundary: i64,
+    raw_cuts: impl IntoIterator<Item = i64>,
+    min_gap: i64,
+) -> Vec<i64> {
     debug_assert!(boundary >= 1, "grid must have at least one cell");
     debug_assert!(min_gap >= 1, "merge threshold must be at least one cell");
     let mut cuts: Vec<i64> = raw_cuts
@@ -143,7 +147,11 @@ mod tests {
         }
         // All interior gaps except possibly the last respect min_gap.
         for pair in cuts[..cuts.len() - 1].windows(2) {
-            assert!(pair[1] - pair[0] >= 5, "interior gap {} too small", pair[1] - pair[0]);
+            assert!(
+                pair[1] - pair[0] >= 5,
+                "interior gap {} too small",
+                pair[1] - pair[0]
+            );
         }
     }
 

@@ -36,7 +36,10 @@ pub fn block_probability_exact(
     y1: i64,
     y2: i64,
 ) -> f64 {
-    assert!(x1 <= x2 && y1 <= y2, "inverted block [{x1},{x2}]x[{y1},{y2}]");
+    assert!(
+        x1 <= x2 && y1 <= y2,
+        "inverted block [{x1},{x2}]x[{y1},{y2}]"
+    );
     let x1 = x1.max(0);
     let y1 = y1.max(0);
     let x2 = x2.min(range.g1() - 1);

@@ -207,8 +207,7 @@ impl IrregularGridModel {
         let g2 = y_cuts[iy2] - y0;
         let snapped = RoutingRange::from_cells(x0, y0, g1, g2, range.net_type());
 
-        let use_exact =
-            self.evaluator == Evaluator::Exact || g1 + g2 <= self.exact_threshold;
+        let use_exact = self.evaluator == Evaluator::Exact || g1 + g2 <= self.exact_threshold;
 
         for jy in iy1..iy2 {
             let y1 = y_cuts[jy] - y0;
@@ -298,7 +297,10 @@ impl IrCongestionMap {
     /// Panics if the cell is out of range.
     #[must_use]
     pub fn total(&self, i: usize, j: usize) -> f64 {
-        assert!(i < self.ir_cols() && j < self.ir_rows(), "IR cell ({i},{j}) out of range");
+        assert!(
+            i < self.ir_cols() && j < self.ir_rows(),
+            "IR cell ({i},{j}) out of range"
+        );
         self.totals[j * self.ir_cols() + i]
     }
 
@@ -309,7 +311,10 @@ impl IrCongestionMap {
     /// Panics if the cell is out of range.
     #[must_use]
     pub fn area_cells(&self, i: usize, j: usize) -> f64 {
-        assert!(i < self.ir_cols() && j < self.ir_rows(), "IR cell ({i},{j}) out of range");
+        assert!(
+            i < self.ir_cols() && j < self.ir_rows(),
+            "IR cell ({i},{j}) out of range"
+        );
         ((self.x_cuts[i + 1] - self.x_cuts[i]) * (self.y_cuts[j + 1] - self.y_cuts[j])) as f64
     }
 
@@ -423,8 +428,7 @@ mod tests {
             (pt(60, 750), pt(780, 90)),
             (pt(240, 30), pt(300, 870)),
         ];
-        let approx = IrregularGridModel::new(Um(30))
-            .congestion_map(&chip(900, 900), &segments);
+        let approx = IrregularGridModel::new(Um(30)).congestion_map(&chip(900, 900), &segments);
         let exact = IrregularGridModel::new(Um(30))
             .with_evaluator(Evaluator::Exact)
             .congestion_map(&chip(900, 900), &segments);
@@ -507,8 +511,7 @@ mod tests {
         // half the chip. The spread layout's hot area (135 cells) exceeds
         // the 10% scoring window (90 cells), so concentration must win.
         let model = IrregularGridModel::new(Um(30));
-        let hot: Vec<(Point, Point)> =
-            (0..15).map(|_| (pt(300, 300), pt(360, 360))).collect();
+        let hot: Vec<(Point, Point)> = (0..15).map(|_| (pt(300, 300), pt(360, 360))).collect();
         let mut spread = Vec::new();
         for k in 0..5i64 {
             for m in 0..3i64 {
@@ -525,7 +528,10 @@ mod tests {
         // And the expected magnitudes: stacked mass 15 over the 90-cell
         // window vs uniform density 1/9.
         assert!((hot_cost - 15.0 / 90.0).abs() < 0.02, "hot {hot_cost}");
-        assert!((spread_cost - 1.0 / 9.0).abs() < 0.02, "spread {spread_cost}");
+        assert!(
+            (spread_cost - 1.0 / 9.0).abs() < 0.02,
+            "spread {spread_cost}"
+        );
     }
 
     #[test]
@@ -543,7 +549,10 @@ mod tests {
 
     #[test]
     fn name_mentions_pitch() {
-        assert_eq!(IrregularGridModel::new(Um(30)).name(), "irregular-grid 30um");
+        assert_eq!(
+            IrregularGridModel::new(Um(30)).name(),
+            "irregular-grid 30um"
+        );
     }
 
     #[test]

@@ -306,7 +306,8 @@ mod tests {
                             NetType::TypeI => d - x,
                             NetType::TypeII => 5 - 1 - (d - x),
                         };
-                        r.contains_local(x, y).then(|| LzShapeModel::cell_probability(&r, x, y))
+                        r.contains_local(x, y)
+                            .then(|| LzShapeModel::cell_probability(&r, x, y))
                     })
                     .sum();
                 assert!((sum - 1.0).abs() < 1e-12, "{t:?} diagonal {d}: {sum}");

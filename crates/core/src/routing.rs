@@ -89,7 +89,10 @@ impl RoutingRange {
     /// Panics if `g1` or `g2` is not positive.
     #[must_use]
     pub fn from_cells(x0: i64, y0: i64, g1: i64, g2: i64, net_type: NetType) -> RoutingRange {
-        assert!(g1 > 0 && g2 > 0, "range must cover at least one cell, got {g1}x{g2}");
+        assert!(
+            g1 > 0 && g2 > 0,
+            "range must cover at least one cell, got {g1}x{g2}"
+        );
         RoutingRange {
             x0,
             y0,
@@ -338,9 +341,7 @@ mod tests {
         let lf = LnFactorials::up_to(128);
         let r = RoutingRange::from_cells(0, 0, 9, 6, NetType::TypeI);
         for d in 0..(9 + 6 - 1) {
-            let sum: f64 = (0..9)
-                .map(|x| r.cell_probability(&lf, x, d - x))
-                .sum();
+            let sum: f64 = (0..9).map(|x| r.cell_probability(&lf, x, d - x)).sum();
             assert!((sum - 1.0).abs() < 1e-10, "diagonal {d}: {sum}");
         }
     }

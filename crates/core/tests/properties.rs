@@ -22,9 +22,8 @@ fn arb_range() -> impl Strategy<Value = RoutingRange> {
 
 /// A valid block inside the given range dimensions.
 fn arb_block(g1: i64, g2: i64) -> impl Strategy<Value = (i64, i64, i64, i64)> {
-    (0..g1, 0..g2).prop_flat_map(move |(x1, y1)| {
-        (x1..g1, y1..g2).prop_map(move |(x2, y2)| (x1, x2, y1, y2))
-    })
+    (0..g1, 0..g2)
+        .prop_flat_map(move |(x1, y1)| (x1..g1, y1..g2).prop_map(move |(x2, y2)| (x1, x2, y1, y2)))
 }
 
 proptest! {

@@ -44,4 +44,6 @@ pub use placement::Placement;
 pub use polish::{Cut, Element, Move, PolishExpr};
 pub use repr::FloorplanRepr;
 pub use seqpair::SequencePair;
-pub use wire::{net_pins, total_wirelength, two_pin_segments, two_pin_segments_with, Decomposition};
+pub use wire::{
+    net_pins, total_wirelength, two_pin_segments, two_pin_segments_with, Decomposition,
+};

@@ -34,11 +34,7 @@ struct Shape {
 #[derive(Debug)]
 enum Node {
     Leaf(ModuleId),
-    Internal {
-        cut: Cut,
-        left: usize,
-        right: usize,
-    },
+    Internal { cut: Cut, left: usize, right: usize },
 }
 
 /// Packs a Polish expression into a [`Placement`] of minimum chip area,
@@ -127,7 +123,10 @@ pub fn pack_with_shapes(expr: &PolishExpr, candidates: &[Vec<(Um, Um)>]) -> Plac
 /// ```
 #[must_use]
 pub fn soft_shapes(area: UmArea, ar_min: f64, ar_max: f64, count: usize) -> Vec<(Um, Um)> {
-    assert!(area > UmArea::ZERO, "soft module area must be positive, got {area}");
+    assert!(
+        area > UmArea::ZERO,
+        "soft module area must be positive, got {area}"
+    );
     assert!(
         ar_min > 0.0 && ar_min <= ar_max,
         "invalid aspect-ratio range [{ar_min}, {ar_max}]"
@@ -264,7 +263,14 @@ fn assign(
         }
         Node::Internal { cut, left, right } => {
             let ls = shapes[left][shape.left_choice as usize];
-            assign(nodes, shapes, left, shape.left_choice as usize, origin, rects);
+            assign(
+                nodes,
+                shapes,
+                left,
+                shape.left_choice as usize,
+                origin,
+                rects,
+            );
             let right_origin = match cut {
                 Cut::V => Point::new(origin.x + ls.w, origin.y),
                 Cut::H => Point::new(origin.x, origin.y + ls.h),
@@ -347,7 +353,11 @@ mod tests {
         let p = pack(&expr, &c);
         assert_eq!(p.chip().width(), Um(10));
         assert_eq!(p.chip().height(), Um(20));
-        assert_eq!(p.module_rect(ModuleId(1)).ll().y, Um(10), "second operand on top");
+        assert_eq!(
+            p.module_rect(ModuleId(1)).ll().y,
+            Um(10),
+            "second operand on top"
+        );
     }
 
     #[test]
@@ -385,10 +395,30 @@ mod tests {
     #[test]
     fn prune_removes_dominated() {
         let raw = vec![
-            Shape { w: Um(10), h: Um(10), left_choice: 0, right_choice: 0 },
-            Shape { w: Um(12), h: Um(10), left_choice: 1, right_choice: 0 }, // dominated
-            Shape { w: Um(12), h: Um(8), left_choice: 2, right_choice: 0 },
-            Shape { w: Um(12), h: Um(9), left_choice: 3, right_choice: 0 }, // same w, taller
+            Shape {
+                w: Um(10),
+                h: Um(10),
+                left_choice: 0,
+                right_choice: 0,
+            },
+            Shape {
+                w: Um(12),
+                h: Um(10),
+                left_choice: 1,
+                right_choice: 0,
+            }, // dominated
+            Shape {
+                w: Um(12),
+                h: Um(8),
+                left_choice: 2,
+                right_choice: 0,
+            },
+            Shape {
+                w: Um(12),
+                h: Um(9),
+                left_choice: 3,
+                right_choice: 0,
+            }, // same w, taller
         ];
         let pruned = prune(raw);
         assert_eq!(pruned.len(), 2);
@@ -418,10 +448,7 @@ mod tests {
         // fixed square shapes leave dead space in a 3-module slicing
         // floorplan of uneven structure.
         let areas = [UmArea(10_000), UmArea(20_000), UmArea(30_000)];
-        let soft: Vec<Vec<(Um, Um)>> = areas
-            .iter()
-            .map(|&a| soft_shapes(a, 0.2, 5.0, 9))
-            .collect();
+        let soft: Vec<Vec<(Um, Um)>> = areas.iter().map(|&a| soft_shapes(a, 0.2, 5.0, 9)).collect();
         let hard: Vec<Vec<(Um, Um)>> = areas
             .iter()
             .map(|&a| {

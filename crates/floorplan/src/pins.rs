@@ -140,7 +140,10 @@ mod tests {
             Point::new(Um(99), Um(181)),
         ] {
             let pin = placer.pin(&module, target);
-            assert!(module.contains(pin), "pin {pin} off module for target {target}");
+            assert!(
+                module.contains(pin),
+                "pin {pin} off module for target {target}"
+            );
         }
     }
 

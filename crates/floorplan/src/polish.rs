@@ -129,7 +129,7 @@ impl PolishExpr {
     /// Number of operands (modules).
     #[must_use]
     pub fn operand_count(&self) -> usize {
-        (self.elements.len() + 1) / 2
+        self.elements.len().div_ceil(2)
     }
 
     /// Checks all structural invariants: operand/operator counts, each
@@ -386,7 +386,10 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(1);
         let mut e = PolishExpr::initial(4);
         let before: Vec<Element> = e.elements().to_vec();
-        assert_eq!(e.perturb(Move::SwapOperands, &mut rng), Some(Move::SwapOperands));
+        assert_eq!(
+            e.perturb(Move::SwapOperands, &mut rng),
+            Some(Move::SwapOperands)
+        );
         let after = e.elements();
         let diffs = (0..before.len()).filter(|&i| before[i] != after[i]).count();
         assert_eq!(diffs, 2, "exactly two positions change");
@@ -439,6 +442,10 @@ mod tests {
             e.perturb_random(&mut rng);
             seen.insert(e.to_string());
         }
-        assert!(seen.len() > 50, "only {} distinct expressions reached", seen.len());
+        assert!(
+            seen.len() > 50,
+            "only {} distinct expressions reached",
+            seen.len()
+        );
     }
 }

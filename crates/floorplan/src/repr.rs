@@ -57,7 +57,10 @@ mod tests {
 
     #[test]
     fn polish_expr_implements_repr() {
-        let circuit = CircuitGenerator::new("r", 6, 0).seed(1).generate().expect("valid");
+        let circuit = CircuitGenerator::new("r", 6, 0)
+            .seed(1)
+            .generate()
+            .expect("valid");
         let mut repr = <PolishExpr as FloorplanRepr>::initial(6);
         let mut rng = ChaCha8Rng::seed_from_u64(4);
         for _ in 0..20 {

@@ -203,9 +203,7 @@ impl SequencePair {
         }
 
         let rects: Vec<Rect> = (0..n)
-            .map(|i| {
-                Rect::from_origin_size(Point::new(x[i], y[i]), dims[i].0, dims[i].1)
-            })
+            .map(|i| Rect::from_origin_size(Point::new(x[i], y[i]), dims[i].0, dims[i].1))
             .collect();
         let chip_w = rects.iter().map(|r| r.ur().x).max().expect("non-empty");
         let chip_h = rects.iter().map(|r| r.ur().y).max().expect("non-empty");
@@ -318,7 +316,10 @@ mod tests {
             best = best.min(sp.place(&c).area());
         }
         // Total module area is 900; a perfect pinwheel packs 30x30 = 900.
-        assert!(best.0 <= 1100, "best area {best} too far from the pinwheel optimum");
+        assert!(
+            best.0 <= 1100,
+            "best area {best} too far from the pinwheel optimum"
+        );
     }
 
     #[test]

@@ -14,10 +14,7 @@ use rand_chacha::ChaCha8Rng;
 fn arb_circuit() -> impl Strategy<Value = Circuit> {
     (2usize..=12).prop_flat_map(|n| {
         let modules = prop::collection::vec((5i64..400, 5i64..400), n..=n);
-        let nets = prop::collection::vec(
-            prop::collection::vec(0..n as u32, 2..=4.min(n)),
-            0..8,
-        );
+        let nets = prop::collection::vec(prop::collection::vec(0..n as u32, 2..=4.min(n)), 0..8);
         (modules, nets).prop_map(move |(dims, net_members)| {
             let modules: Vec<Module> = dims
                 .iter()

@@ -35,7 +35,10 @@ impl Interval {
     /// Panics if `lo > hi`.
     #[must_use]
     pub fn new(lo: Um, hi: Um) -> Interval {
-        assert!(lo <= hi, "interval lower bound {lo} exceeds upper bound {hi}");
+        assert!(
+            lo <= hi,
+            "interval lower bound {lo} exceeds upper bound {hi}"
+        );
         Interval { lo, hi }
     }
 
@@ -116,7 +119,10 @@ mod tests {
 
     #[test]
     fn spanning_orders_endpoints() {
-        assert_eq!(Interval::spanning(Um(9), Um(2)), Interval::new(Um(2), Um(9)));
+        assert_eq!(
+            Interval::spanning(Um(9), Um(2)),
+            Interval::new(Um(2), Um(9))
+        );
     }
 
     #[test]

@@ -121,10 +121,7 @@ impl Rect {
     /// Center point, rounded down to integer micrometers.
     #[must_use]
     pub fn center(&self) -> Point {
-        Point::new(
-            self.ll.x + self.width() / 2,
-            self.ll.y + self.height() / 2,
-        )
+        Point::new(self.ll.x + self.width() / 2, self.ll.y + self.height() / 2)
     }
 
     /// Whether the rectangle has zero area (a line or a point).
@@ -162,8 +159,7 @@ impl Rect {
     /// Whether `self` and `other` overlap with positive area.
     #[must_use]
     pub fn overlaps_area(&self, other: &Rect) -> bool {
-        self.intersection(other)
-            .is_some_and(|r| !r.is_degenerate())
+        self.intersection(other).is_some_and(|r| !r.is_degenerate())
     }
 
     /// The smallest rectangle covering both `self` and `other`.
@@ -257,6 +253,9 @@ mod tests {
     fn hull_and_translate() {
         let h = rect(0, 0, 1, 1).hull(&rect(5, 7, 6, 9));
         assert_eq!(h, rect(0, 0, 6, 9));
-        assert_eq!(rect(0, 0, 1, 1).translated(Um(3), Um(-2)), rect(3, -2, 4, -1));
+        assert_eq!(
+            rect(0, 0, 1, 1).translated(Um(3), Um(-2)),
+            rect(3, -2, 4, -1)
+        );
     }
 }

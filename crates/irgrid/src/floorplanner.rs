@@ -13,6 +13,7 @@
 
 use irgrid_anneal::Problem;
 use irgrid_core::CongestionModel;
+use std::fmt;
 use std::marker::PhantomData;
 
 use irgrid_floorplan::{two_pin_segments, FloorplanRepr, PinPlacer, Placement, PolishExpr};
@@ -81,6 +82,46 @@ impl Weights {
     }
 }
 
+/// A typed error constructing a [`FloorplanProblem`].
+///
+/// Returned by [`FloorplanProblem::try_new`]; the panicking constructors
+/// format these into their messages.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FloorplanError {
+    /// The pin/congestion grid pitch is not positive.
+    NonPositivePitch(Um),
+    /// A weight is negative (or NaN).
+    NegativeWeights(Weights),
+    /// An objective came back non-finite during the calibration walk —
+    /// annealing over it would silently corrupt costs.
+    NonFiniteCalibration {
+        /// Which objective misbehaved: `"area"`, `"wirelength"`, or
+        /// `"congestion"`.
+        objective: &'static str,
+        /// The non-finite average observed.
+        value: f64,
+    },
+}
+
+impl fmt::Display for FloorplanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FloorplanError::NonPositivePitch(pitch) => {
+                write!(f, "grid pitch must be positive, got {pitch}")
+            }
+            FloorplanError::NegativeWeights(weights) => {
+                write!(f, "weights must be non-negative, got {weights:?}")
+            }
+            FloorplanError::NonFiniteCalibration { objective, value } => write!(
+                f,
+                "calibration walk produced a non-finite {objective} average ({value})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FloorplanError {}
+
 /// A full evaluation of one floorplan candidate.
 #[derive(Debug, Clone)]
 pub struct FloorplanEval {
@@ -134,6 +175,18 @@ impl<'c, M: CongestionModel> FloorplanProblem<'c, M, PolishExpr> {
     ) -> FloorplanProblem<'c, M, PolishExpr> {
         FloorplanProblem::with_representation(circuit, pitch, weights, congestion)
     }
+
+    /// Like [`FloorplanProblem::new`], but returns a typed
+    /// [`FloorplanError`] instead of panicking on invalid parameters or a
+    /// non-finite calibration.
+    pub fn try_new(
+        circuit: &'c Circuit,
+        pitch: Um,
+        weights: Weights,
+        congestion: Option<M>,
+    ) -> Result<FloorplanProblem<'c, M, PolishExpr>, FloorplanError> {
+        FloorplanProblem::try_with_representation(circuit, pitch, weights, congestion)
+    }
 }
 
 impl<'c, M: CongestionModel, R: FloorplanRepr> FloorplanProblem<'c, M, R> {
@@ -151,10 +204,28 @@ impl<'c, M: CongestionModel, R: FloorplanRepr> FloorplanProblem<'c, M, R> {
         weights: Weights,
         congestion: Option<M>,
     ) -> FloorplanProblem<'c, M, R> {
-        assert!(
-            weights.area >= 0.0 && weights.wire >= 0.0 && weights.congestion >= 0.0,
-            "weights must be non-negative, got {weights:?}"
-        );
+        match FloorplanProblem::try_with_representation(circuit, pitch, weights, congestion) {
+            Ok(problem) => problem,
+            Err(err) => panic!("{err}"),
+        }
+    }
+
+    /// Like [`FloorplanProblem::with_representation`], but returns a typed
+    /// [`FloorplanError`] instead of panicking on invalid parameters or a
+    /// non-finite calibration.
+    pub fn try_with_representation(
+        circuit: &'c Circuit,
+        pitch: Um,
+        weights: Weights,
+        congestion: Option<M>,
+    ) -> Result<FloorplanProblem<'c, M, R>, FloorplanError> {
+        if pitch <= Um::ZERO {
+            return Err(FloorplanError::NonPositivePitch(pitch));
+        }
+        // `>= 0.0` also rejects NaN weights.
+        if !(weights.area >= 0.0 && weights.wire >= 0.0 && weights.congestion >= 0.0) {
+            return Err(FloorplanError::NegativeWeights(weights));
+        }
         let mut problem = FloorplanProblem {
             circuit,
             placer: PinPlacer::new(pitch),
@@ -165,8 +236,8 @@ impl<'c, M: CongestionModel, R: FloorplanRepr> FloorplanProblem<'c, M, R> {
             congestion_scale: 1.0,
             repr: PhantomData,
         };
-        problem.calibrate();
-        problem
+        problem.calibrate()?;
+        Ok(problem)
     }
 
     /// The circuit being floorplanned.
@@ -182,8 +253,11 @@ impl<'c, M: CongestionModel, R: FloorplanRepr> FloorplanProblem<'c, M, R> {
     }
 
     /// Samples a deterministic random walk to set the normalization
-    /// scales to the average magnitude of each objective.
-    fn calibrate(&mut self) {
+    /// scales to the average magnitude of each objective. A non-finite
+    /// average (a NaN-producing congestion model, an overflowing
+    /// wirelength) is reported instead of being baked into every
+    /// subsequent cost.
+    fn calibrate(&mut self) -> Result<(), FloorplanError> {
         const SAMPLES: usize = 32;
         let mut rng = ChaCha8Rng::seed_from_u64(0x5eed_ca1b);
         let mut repr = R::initial(self.circuit.modules().len());
@@ -196,9 +270,20 @@ impl<'c, M: CongestionModel, R: FloorplanRepr> FloorplanProblem<'c, M, R> {
             cgt_sum += eval.2;
         }
         let n = SAMPLES as f64;
+        for (objective, sum) in [
+            ("area", area_sum),
+            ("wirelength", wire_sum),
+            ("congestion", cgt_sum),
+        ] {
+            let value = sum / n;
+            if !value.is_finite() {
+                return Err(FloorplanError::NonFiniteCalibration { objective, value });
+            }
+        }
         self.area_scale = (area_sum / n).max(f64::MIN_POSITIVE);
         self.wire_scale = (wire_sum / n).max(f64::MIN_POSITIVE);
         self.congestion_scale = (cgt_sum / n).max(f64::MIN_POSITIVE);
+        Ok(())
     }
 
     /// `(area, wirelength, congestion)` of one encoding, unnormalized.
@@ -364,8 +449,12 @@ mod tests {
             vec![],
         )
         .expect("valid");
-        let problem =
-            FloorplanProblem::new(&circuit, Um(30), Weights::balanced(), None::<FixedGridModel>);
+        let problem = FloorplanProblem::new(
+            &circuit,
+            Um(30),
+            Weights::balanced(),
+            None::<FixedGridModel>,
+        );
         let result = Annealer::new(Schedule::quick()).run(&problem, 1);
         let eval = problem.evaluate(&result.best);
         assert_eq!(eval.area_um2, 5000.0);
@@ -386,6 +475,59 @@ mod tests {
             },
             None::<FixedGridModel>,
         );
+    }
+
+    #[test]
+    fn try_new_returns_typed_errors() {
+        let circuit = small_circuit();
+        let err =
+            FloorplanProblem::<FixedGridModel>::try_new(&circuit, Um(0), Weights::balanced(), None)
+                .unwrap_err();
+        assert_eq!(err, FloorplanError::NonPositivePitch(Um(0)));
+
+        let bad = Weights {
+            area: f64::NAN,
+            wire: 1.0,
+            congestion: 1.0,
+        };
+        let err =
+            FloorplanProblem::<FixedGridModel>::try_new(&circuit, Um(30), bad, None).unwrap_err();
+        assert!(matches!(err, FloorplanError::NegativeWeights(_)));
+
+        assert!(FloorplanProblem::<FixedGridModel>::try_new(
+            &circuit,
+            Um(30),
+            Weights::balanced(),
+            None
+        )
+        .is_ok());
+    }
+
+    /// A congestion model that always scores NaN.
+    #[derive(Debug)]
+    struct NanModel;
+
+    impl CongestionModel for NanModel {
+        fn evaluate(&self, _: &irgrid_geom::Rect, _: &[(Point, Point)]) -> f64 {
+            f64::NAN
+        }
+        fn name(&self) -> String {
+            "nan".into()
+        }
+    }
+
+    #[test]
+    fn nan_congestion_model_is_caught_at_calibration() {
+        let circuit = small_circuit();
+        let err = FloorplanProblem::try_new(&circuit, Um(30), Weights::balanced(), Some(NanModel))
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            FloorplanError::NonFiniteCalibration {
+                objective: "congestion",
+                ..
+            }
+        ));
     }
 
     #[test]

@@ -76,11 +76,21 @@ fn rect_elem(r: &Rect, fill: &str, stroke: &str, stroke_width: f64) -> String {
 pub fn placement_svg(circuit: &Circuit, placement: &Placement) -> String {
     let chip = placement.chip();
     let mut svg = svg_open(&chip, 0.0);
-    svg.push_str(&rect_elem(&chip, "#f8f8f8", "#333333", chip.width().as_f64() / 400.0));
+    svg.push_str(&rect_elem(
+        &chip,
+        "#f8f8f8",
+        "#333333",
+        chip.width().as_f64() / 400.0,
+    ));
     let label_size = chip.width().as_f64() / 40.0;
     for (id, module) in circuit.modules_with_ids() {
         let r = placement.module_rect(id);
-        svg.push_str(&rect_elem(&r, "#dce8f5", "#3a6ea5", chip.width().as_f64() / 800.0));
+        svg.push_str(&rect_elem(
+            &r,
+            "#dce8f5",
+            "#3a6ea5",
+            chip.width().as_f64() / 800.0,
+        ));
         let c = r.center();
         // Text is drawn un-flipped (scale(1 -1) again) so it reads
         // upright.
@@ -106,18 +116,33 @@ pub fn ir_congestion_svg(
 ) -> String {
     let chip = placement.chip();
     let mut svg = svg_open(&chip, 0.0);
-    svg.push_str(&rect_elem(&chip, "#ffffff", "#333333", chip.width().as_f64() / 400.0));
+    svg.push_str(&rect_elem(
+        &chip,
+        "#ffffff",
+        "#333333",
+        chip.width().as_f64() / 400.0,
+    ));
     let peak = map.peak_density().max(f64::MIN_POSITIVE);
     for j in 0..map.ir_rows() {
         for i in 0..map.ir_cols() {
             let cell = map.cell_rect(i, j);
             let color = heat_color(map.density(i, j) / peak);
-            svg.push_str(&rect_elem(&cell, &color, "#bbbbbb", chip.width().as_f64() / 2000.0));
+            svg.push_str(&rect_elem(
+                &cell,
+                &color,
+                "#bbbbbb",
+                chip.width().as_f64() / 2000.0,
+            ));
         }
     }
     for (id, _) in circuit.modules_with_ids() {
         let r = placement.module_rect(id);
-        svg.push_str(&rect_elem(&r, "none", "#3a6ea5", chip.width().as_f64() / 1000.0));
+        svg.push_str(&rect_elem(
+            &r,
+            "none",
+            "#3a6ea5",
+            chip.width().as_f64() / 1000.0,
+        ));
     }
     svg.push_str(SVG_CLOSE);
     svg
@@ -132,7 +157,12 @@ pub fn fixed_congestion_svg(
 ) -> String {
     let chip = placement.chip();
     let mut svg = svg_open(&chip, 0.0);
-    svg.push_str(&rect_elem(&chip, "#ffffff", "#333333", chip.width().as_f64() / 400.0));
+    svg.push_str(&rect_elem(
+        &chip,
+        "#ffffff",
+        "#333333",
+        chip.width().as_f64() / 400.0,
+    ));
     let peak = map.peak().max(f64::MIN_POSITIVE);
     let grid = map.grid();
     for y in 0..grid.rows() {
@@ -147,7 +177,12 @@ pub fn fixed_congestion_svg(
     }
     for (id, _) in circuit.modules_with_ids() {
         let r = placement.module_rect(id);
-        svg.push_str(&rect_elem(&r, "none", "#3a6ea5", chip.width().as_f64() / 1000.0));
+        svg.push_str(&rect_elem(
+            &r,
+            "none",
+            "#3a6ea5",
+            chip.width().as_f64() / 1000.0,
+        ));
     }
     svg.push_str(SVG_CLOSE);
     svg
@@ -161,7 +196,11 @@ mod tests {
     use irgrid_geom::Um;
     use irgrid_netlist::mcnc::McncCircuit;
 
-    fn setup() -> (Circuit, Placement, Vec<(irgrid_geom::Point, irgrid_geom::Point)>) {
+    fn setup() -> (
+        Circuit,
+        Placement,
+        Vec<(irgrid_geom::Point, irgrid_geom::Point)>,
+    ) {
         let circuit = McncCircuit::Hp.circuit();
         let placement = pack(&PolishExpr::initial(circuit.modules().len()), &circuit);
         let segments = two_pin_segments(&circuit, &placement, &PinPlacer::new(Um(30)));

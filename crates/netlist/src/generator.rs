@@ -197,7 +197,10 @@ impl CircuitGenerator {
 
     fn pick_members(&self, rng: &mut ChaCha8Rng, degree: usize) -> Vec<ModuleId> {
         let n = self.module_count;
-        debug_assert!(n >= 2, "generate() rejects net generation with fewer than 2 modules");
+        debug_assert!(
+            n >= 2,
+            "generate() rejects net generation with fewer than 2 modules"
+        );
         let window = self.locality_window.min(n);
         let anchor = rng.gen_range(0..n);
         let lo = anchor.saturating_sub(window / 2);
@@ -238,15 +241,27 @@ mod tests {
 
     #[test]
     fn deterministic_for_same_seed() {
-        let a = CircuitGenerator::new("d", 20, 50).seed(42).generate().expect("gen");
-        let b = CircuitGenerator::new("d", 20, 50).seed(42).generate().expect("gen");
+        let a = CircuitGenerator::new("d", 20, 50)
+            .seed(42)
+            .generate()
+            .expect("gen");
+        let b = CircuitGenerator::new("d", 20, 50)
+            .seed(42)
+            .generate()
+            .expect("gen");
         assert_eq!(a, b);
     }
 
     #[test]
     fn different_seeds_differ() {
-        let a = CircuitGenerator::new("d", 20, 50).seed(1).generate().expect("gen");
-        let b = CircuitGenerator::new("d", 20, 50).seed(2).generate().expect("gen");
+        let a = CircuitGenerator::new("d", 20, 50)
+            .seed(1)
+            .generate()
+            .expect("gen");
+        let b = CircuitGenerator::new("d", 20, 50)
+            .seed(2)
+            .generate()
+            .expect("gen");
         assert_ne!(a, b);
     }
 
@@ -318,7 +333,11 @@ mod tests {
                 ids.iter().max().unwrap() - ids.iter().min().unwrap() <= 10
             })
             .count();
-        assert!(local * 10 >= c.nets().len() * 9, "{local} of {} nets local", c.nets().len());
+        assert!(
+            local * 10 >= c.nets().len() * 9,
+            "{local} of {} nets local",
+            c.nets().len()
+        );
     }
 
     #[test]
@@ -329,7 +348,9 @@ mod tests {
     #[test]
     fn one_module_with_nets_is_an_error() {
         // Regression: this used to hang in member rejection sampling.
-        let err = CircuitGenerator::new("d", 1, 3).generate().expect_err("degenerate");
+        let err = CircuitGenerator::new("d", 1, 3)
+            .generate()
+            .expect_err("degenerate");
         assert!(matches!(err, BuildCircuitError::DegenerateNet { .. }));
         // One module with no nets is fine.
         assert!(CircuitGenerator::new("d", 1, 0).generate().is_ok());

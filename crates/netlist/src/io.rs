@@ -161,7 +161,10 @@ pub fn from_text(text: &str) -> Result<Circuit, ParseCircuitError> {
 
     for (i, raw) in text.lines().enumerate() {
         let line_no = i + 1;
-        let err = |kind| ParseCircuitError { line: line_no, kind };
+        let err = |kind| ParseCircuitError {
+            line: line_no,
+            kind,
+        };
         let line = raw.split('#').next().unwrap_or("").trim();
         if line.is_empty() {
             continue;
@@ -204,8 +207,9 @@ pub fn from_text(text: &str) -> Result<Circuit, ParseCircuitError> {
                 if ids.contains_key(&module_name) {
                     return Err(err(ParseErrorKind::DuplicateModule(module_name)));
                 }
-                let module = Module::new(&module_name, parse_dim(tokens[2])?, parse_dim(tokens[3])?)
-                    .map_err(|e| err(ParseErrorKind::Invalid(e)))?;
+                let module =
+                    Module::new(&module_name, parse_dim(tokens[2])?, parse_dim(tokens[3])?)
+                        .map_err(|e| err(ParseErrorKind::Invalid(e)))?;
                 ids.insert(module_name, ModuleId(modules.len() as u32));
                 modules.push(module);
             }
@@ -227,8 +231,8 @@ pub fn from_text(text: &str) -> Result<Circuit, ParseCircuitError> {
                             .ok_or_else(|| err(ParseErrorKind::UnknownModule(tok.to_string())))
                     })
                     .collect::<Result<_, _>>()?;
-                let net = Net::new(tokens[1], members)
-                    .map_err(|e| err(ParseErrorKind::Invalid(e)))?;
+                let net =
+                    Net::new(tokens[1], members).map_err(|e| err(ParseErrorKind::Invalid(e)))?;
                 nets.push(net);
             }
             other => {
@@ -316,7 +320,10 @@ mod tests {
     #[test]
     fn net_arity() {
         let e = from_text("circuit c\nmodule a 1 1\nnet n a\n").expect_err("1-pin net");
-        assert!(matches!(e.kind, ParseErrorKind::WrongArity { keyword: "net", .. }));
+        assert!(matches!(
+            e.kind,
+            ParseErrorKind::WrongArity { keyword: "net", .. }
+        ));
     }
 
     #[test]
@@ -358,5 +365,81 @@ mod tests {
         let msg = e.to_string();
         assert!(msg.contains("line 2"), "{msg}");
         assert!(msg.contains("ten"), "{msg}");
+    }
+
+    #[test]
+    fn truncated_lines_report_arity_with_line_number() {
+        // A module line cut off mid-way (e.g. a truncated download).
+        let e = from_text("circuit c\nmodule a 10\n").expect_err("truncated module");
+        assert_eq!(e.line, 2);
+        assert_eq!(
+            e.kind,
+            ParseErrorKind::WrongArity {
+                keyword: "module",
+                found: 2
+            }
+        );
+        // A net line with the name but no members.
+        let e = from_text("circuit c\nmodule a 1 1\nnet n\n").expect_err("truncated net");
+        assert_eq!(e.line, 3);
+        assert!(matches!(
+            e.kind,
+            ParseErrorKind::WrongArity { keyword: "net", .. }
+        ));
+        // A bare keyword.
+        let e = from_text("circuit\n").expect_err("bare keyword");
+        assert_eq!(e.line, 1);
+        assert!(matches!(
+            e.kind,
+            ParseErrorKind::WrongArity {
+                keyword: "circuit",
+                found: 0
+            }
+        ));
+    }
+
+    #[test]
+    fn absurd_dimensions_rejected_not_wrapped() {
+        // Larger than i64: must be a parse error, not a silent wrap.
+        let e = from_text("circuit c\nmodule a 99999999999999999999999999 20\n")
+            .expect_err("overflow dim");
+        assert_eq!(e.line, 2);
+        assert!(matches!(e.kind, ParseErrorKind::BadDimension(_)));
+        // Zero is not a positive dimension.
+        let e = from_text("circuit c\nmodule a 0 20\n").expect_err("zero dim");
+        assert_eq!(e.kind, ParseErrorKind::BadDimension("0".into()));
+    }
+
+    #[test]
+    fn second_circuit_header_rejected() {
+        let e = from_text("circuit c\ncircuit d\n").expect_err("two headers");
+        assert_eq!(e.line, 2);
+    }
+
+    proptest::proptest! {
+        /// Arbitrary bytes of printable text must never panic the parser —
+        /// every input is either a circuit or a line-tagged error.
+        #[test]
+        fn parser_never_panics(
+            lines in proptest::collection::vec(".{0,60}", 0..20usize)
+        ) {
+            let text = lines.join("\n");
+            match from_text(&text) {
+                Ok(circuit) => proptest::prop_assert!(!circuit.modules().is_empty()),
+                Err(e) => proptest::prop_assert!(e.line <= lines.len()),
+            }
+        }
+
+        /// Keyword-shaped garbage must fail with the offending line.
+        #[test]
+        fn malformed_statements_report_a_line(
+            keyword in "(module|net|circuit|garbage)",
+            args in proptest::collection::vec("[a-z0-9-]{1,8}", 0..6usize)
+        ) {
+            let text = format!("circuit c\n{} {}\n", keyword, args.join(" "));
+            if let Err(e) = from_text(&text) {
+                proptest::prop_assert!(e.line >= 1 && e.line <= 2, "line {}", e.line);
+            }
+        }
     }
 }

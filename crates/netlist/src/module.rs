@@ -9,9 +9,7 @@ use serde::{Deserialize, Serialize};
 ///
 /// `ModuleId`s are dense (`0..circuit.modules().len()`), so per-module data
 /// can live in plain vectors indexed by `id.index()`.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct ModuleId(pub u32);
 
 impl ModuleId {

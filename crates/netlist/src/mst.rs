@@ -155,7 +155,7 @@ mod tests {
         }
         edges.sort();
         let mut parent: Vec<usize> = (0..n).collect();
-        fn find(parent: &mut Vec<usize>, mut v: usize) -> usize {
+        fn find(parent: &mut [usize], mut v: usize) -> usize {
             while parent[v] != v {
                 parent[v] = parent[parent[v]];
                 v = parent[v];
@@ -226,7 +226,9 @@ mod tests {
         // is not).
         let mut state = 0x12345u64;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) % 1000) as i64
         };
         for n in 2..12 {
@@ -248,7 +250,9 @@ mod tests {
     fn star_never_shorter_than_mst() {
         let mut state = 0xdeadu64;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) % 500) as i64
         };
         for n in 2..10 {
@@ -275,7 +279,7 @@ mod tests {
         assert_eq!(edges.len(), pins.len() - 1);
         // Union-find connectivity check.
         let mut parent: Vec<usize> = (0..pins.len()).collect();
-        fn find(parent: &mut Vec<usize>, mut v: usize) -> usize {
+        fn find(parent: &mut [usize], mut v: usize) -> usize {
             while parent[v] != v {
                 parent[v] = parent[parent[v]];
                 v = parent[v];

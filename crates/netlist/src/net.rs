@@ -7,9 +7,7 @@ use serde::{Deserialize, Serialize};
 use crate::ModuleId;
 
 /// Index of a net within its [`Circuit`](crate::Circuit).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct NetId(pub u32);
 
 impl NetId {

@@ -116,12 +116,16 @@ impl RoutingGrid {
 
     pub(crate) fn add_h(&mut self, x: i64, y: i64, delta: i32) {
         let i = self.h_index(x, y);
-        self.h_usage[i] = self.h_usage[i].checked_add_signed(delta).expect("usage underflow");
+        self.h_usage[i] = self.h_usage[i]
+            .checked_add_signed(delta)
+            .expect("usage underflow");
     }
 
     pub(crate) fn add_v(&mut self, x: i64, y: i64, delta: i32) {
         let i = self.v_index(x, y);
-        self.v_usage[i] = self.v_usage[i].checked_add_signed(delta).expect("usage underflow");
+        self.v_usage[i] = self.v_usage[i]
+            .checked_add_signed(delta)
+            .expect("usage underflow");
     }
 
     /// Raises negotiation history on every currently overflowing edge.

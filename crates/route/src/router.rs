@@ -38,9 +38,16 @@ impl Default for RouterConfig {
 
 impl RouterConfig {
     fn validate(&self) {
-        assert!(self.pitch > Um::ZERO, "pitch must be positive, got {}", self.pitch);
+        assert!(
+            self.pitch > Um::ZERO,
+            "pitch must be positive, got {}",
+            self.pitch
+        );
         assert!(self.edge_capacity > 0, "edge capacity must be positive");
-        assert!(self.max_iterations > 0, "need at least one routing iteration");
+        assert!(
+            self.max_iterations > 0,
+            "need at least one routing iteration"
+        );
         assert!(
             self.present_penalty >= 0.0 && self.history_increment >= 0.0,
             "penalties must be non-negative"
@@ -90,8 +97,11 @@ pub struct GlobalRouter {
     config: RouterConfig,
 }
 
+/// A routing-grid cell coordinate (column, row).
+type Cell = (i64, i64);
+
 /// One net's current route, as a list of cells.
-type Path = Vec<(i64, i64)>;
+type Path = Vec<Cell>;
 
 impl GlobalRouter {
     /// Creates a router.
@@ -126,7 +136,7 @@ impl GlobalRouter {
         let mut grid = RoutingGrid::new(chip, self.config.pitch, self.config.edge_capacity);
 
         // Net terminals in cells; drop same-cell nets (nothing to route).
-        let mut nets: Vec<(usize, (i64, i64), (i64, i64))> = segments
+        let mut nets: Vec<(usize, Cell, Cell)> = segments
             .iter()
             .enumerate()
             .filter_map(|(i, &(a, b))| {
@@ -174,7 +184,7 @@ impl GlobalRouter {
     }
 
     /// A* from cell `a` to cell `b` under the current congestion costs.
-    fn astar(&self, grid: &RoutingGrid, a: (i64, i64), b: (i64, i64)) -> Path {
+    fn astar(&self, grid: &RoutingGrid, a: Cell, b: Cell) -> Path {
         #[derive(PartialEq)]
         struct Entry {
             priority: f64,
@@ -234,7 +244,11 @@ impl GlobalRouter {
                 }
             };
             if x + 1 < cols {
-                relax(x + 1, y, self.edge_cost(grid.h_edge(x, y).usage, grid.h_history(x, y)));
+                relax(
+                    x + 1,
+                    y,
+                    self.edge_cost(grid.h_edge(x, y).usage, grid.h_history(x, y)),
+                );
             }
             if x > 0 {
                 relax(
@@ -244,7 +258,11 @@ impl GlobalRouter {
                 );
             }
             if y + 1 < rows {
-                relax(x, y + 1, self.edge_cost(grid.v_edge(x, y).usage, grid.v_history(x, y)));
+                relax(
+                    x,
+                    y + 1,
+                    self.edge_cost(grid.v_edge(x, y).usage, grid.v_history(x, y)),
+                );
             }
             if y > 0 {
                 relax(
@@ -258,7 +276,10 @@ impl GlobalRouter {
         // Reconstruct.
         let mut path = vec![b];
         let mut node = idx(b.0, b.1);
-        debug_assert!(prev[node] != usize::MAX || a == b, "grid is connected, a path exists");
+        debug_assert!(
+            prev[node] != usize::MAX || a == b,
+            "grid is connected, a path exists"
+        );
         while prev[node] != usize::MAX {
             node = prev[node];
             path.push(((node as i64) % cols, (node as i64) / cols));
@@ -276,7 +297,7 @@ impl GlobalRouter {
 }
 
 /// Adds (`delta = 1`) or removes (`delta = -1`) a path's edge usage.
-fn apply_path(grid: &mut RoutingGrid, path: &[(i64, i64)], delta: i32) {
+fn apply_path(grid: &mut RoutingGrid, path: &[Cell], delta: i32) {
     for pair in path.windows(2) {
         let ((x0, y0), (x1, y1)) = (pair[0], pair[1]);
         if y0 == y1 {
@@ -346,8 +367,7 @@ mod tests {
         // Five nets sharing both pin cells: the source cell has only
         // three incident capacity-1 edges, so 2 units of overflow at each
         // end are unavoidable — and the router should not do worse.
-        let segments: Vec<(Point, Point)> =
-            (0..5).map(|_| (pt(15, 135), pt(285, 135))).collect();
+        let segments: Vec<(Point, Point)> = (0..5).map(|_| (pt(15, 135), pt(285, 135))).collect();
         let result = router(1).route(&chip(300, 300), &segments);
         assert_eq!(result.total_overflow, 4, "2 at the source + 2 at the sink");
     }
@@ -356,8 +376,7 @@ mod tests {
     fn impossible_demand_reports_overflow() {
         // 30 identical nets on a 2-row chip with capacity 1 cannot avoid
         // overflowing.
-        let segments: Vec<(Point, Point)> =
-            (0..30).map(|_| (pt(15, 15), pt(285, 15))).collect();
+        let segments: Vec<(Point, Point)> = (0..30).map(|_| (pt(15, 15), pt(285, 15))).collect();
         let result = router(1).route(&chip(300, 60), &segments);
         assert!(result.total_overflow > 0);
         assert!(result.iterations > 1, "negotiation should have retried");
@@ -415,4 +434,3 @@ mod tests {
         });
     }
 }
-

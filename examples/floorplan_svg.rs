@@ -32,13 +32,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let eval = problem.evaluate(&result.best);
 
     let placement_path = outdir.join(format!("{}_floorplan.svg", bench.name()));
-    std::fs::write(&placement_path, viz::placement_svg(&circuit, &eval.placement))?;
+    std::fs::write(
+        &placement_path,
+        viz::placement_svg(&circuit, &eval.placement),
+    )?;
     println!("wrote {}", placement_path.display());
 
-    let ir_map = IrregularGridModel::new(pitch)
-        .congestion_map(&eval.placement.chip(), &eval.segments);
+    let ir_map =
+        IrregularGridModel::new(pitch).congestion_map(&eval.placement.chip(), &eval.segments);
     let ir_path = outdir.join(format!("{}_ir_congestion.svg", bench.name()));
-    std::fs::write(&ir_path, viz::ir_congestion_svg(&circuit, &eval.placement, &ir_map))?;
+    std::fs::write(
+        &ir_path,
+        viz::ir_congestion_svg(&circuit, &eval.placement, &ir_map),
+    )?;
     println!(
         "wrote {} ({} IR-grids, cost {:.4})",
         ir_path.display(),
@@ -46,8 +52,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ir_map.cost()
     );
 
-    let fixed_map = FixedGridModel::new(pitch)
-        .congestion_map(&eval.placement.chip(), &eval.segments);
+    let fixed_map =
+        FixedGridModel::new(pitch).congestion_map(&eval.placement.chip(), &eval.segments);
     let fixed_path = outdir.join(format!("{}_fixed_congestion.svg", bench.name()));
     std::fs::write(
         &fixed_path,

@@ -49,7 +49,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let result = annealer.run(&slicing, seed);
     let eval = slicing.evaluate(&result.best);
     let judged = judging.evaluate(&eval.placement.chip(), &eval.segments);
-    report("Polish expression (slicing)", &eval, judged, t.elapsed().as_secs_f64());
+    report(
+        "Polish expression (slicing)",
+        &eval,
+        judged,
+        t.elapsed().as_secs_f64(),
+    );
 
     // Sequence pair (non-slicing).
     let seqpair: FloorplanProblem<'_, IrregularGridModel, SequencePair> =
@@ -63,7 +68,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let result = annealer.run(&seqpair, seed);
     let eval = seqpair.evaluate(&result.best);
     let judged = judging.evaluate(&eval.placement.chip(), &eval.segments);
-    report("sequence pair (non-slicing)", &eval, judged, t.elapsed().as_secs_f64());
+    report(
+        "sequence pair (non-slicing)",
+        &eval,
+        judged,
+        t.elapsed().as_secs_f64(),
+    );
 
     println!("\nboth floorplanners share the cost function and congestion model;");
     println!("only the move set / packing differ.");

@@ -21,7 +21,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         vec![
             Net::new("cpu_cache", vec![ModuleId(0), ModuleId(1)])?,
             Net::new("cpu_dsp", vec![ModuleId(0), ModuleId(2)])?,
-            Net::new("bus", vec![ModuleId(0), ModuleId(1), ModuleId(2), ModuleId(3)])?,
+            Net::new(
+                "bus",
+                vec![ModuleId(0), ModuleId(1), ModuleId(2), ModuleId(3)],
+            )?,
             Net::new("dsp_io", vec![ModuleId(2), ModuleId(3)])?,
         ],
     )?;
@@ -43,7 +46,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "  {:>6}: {}{}",
             module.name(),
             placement.module_rect(id),
-            if placement.is_rotated(id) { " (rotated)" } else { "" },
+            if placement.is_rotated(id) {
+                " (rotated)"
+            } else {
+                ""
+            },
         );
     }
 
@@ -54,7 +61,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .iter()
         .map(|(a, b)| a.manhattan_distance(*b).0)
         .sum();
-    println!("segments: {} (total wirelength {wirelength} um)", segments.len());
+    println!(
+        "segments: {} (total wirelength {wirelength} um)",
+        segments.len()
+    );
 
     let fixed = FixedGridModel::new(Um(30));
     let irregular = IrregularGridModel::new(Um(30));

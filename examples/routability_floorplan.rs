@@ -52,7 +52,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let eval_cgt = problem_cgt.evaluate(&result_cgt.best);
     let judged_cgt = judging.evaluate(&eval_cgt.placement.chip(), &eval_cgt.segments);
 
-    println!("{:<28} {:>12} {:>14} {:>10} {:>12}", "floorplanner", "area (mm^2)", "wire (um)", "time (s)", "judging cgt");
+    println!(
+        "{:<28} {:>12} {:>14} {:>10} {:>12}",
+        "floorplanner", "area (mm^2)", "wire (um)", "time (s)", "judging cgt"
+    );
     println!(
         "{:<28} {:>12.2} {:>14.0} {:>10.2} {:>12.6}",
         "area+wire",

@@ -47,7 +47,10 @@ fn judging_model_scores_any_floorplanner_output() {
     let eval = problem.evaluate(&result.best);
     let judged = FixedGridModel::judging().evaluate(&eval.placement.chip(), &eval.segments);
     assert!(judged.is_finite());
-    assert!(judged > 0.0, "a packed hp floorplan always has some congestion");
+    assert!(
+        judged > 0.0,
+        "a packed hp floorplan always has some congestion"
+    );
 }
 
 #[test]

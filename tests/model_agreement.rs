@@ -2,9 +2,7 @@
 //! fine fixed-grid reference across many floorplans — the property the
 //! paper's Experiment 2 demonstrates.
 
-use irgrid::congestion::{
-    CongestionModel, Evaluator, FixedGridModel, IrregularGridModel,
-};
+use irgrid::congestion::{CongestionModel, Evaluator, FixedGridModel, IrregularGridModel};
 use irgrid::floorplan::{pack, two_pin_segments, PinPlacer, PolishExpr};
 use irgrid::geom::Um;
 use irgrid::netlist::mcnc::McncCircuit;

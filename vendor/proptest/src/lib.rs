@@ -1,0 +1,801 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! crate.
+//!
+//! The build environment has no crates.io access, so this crate implements
+//! the subset of proptest the workspace's property tests rely on:
+//!
+//! - the [`Strategy`](strategy::Strategy) trait with `prop_map`,
+//!   `prop_flat_map`, ranges, tuples, [`Just`](strategy::Just), unions
+//!   (`prop_oneof!`), and [`collection::vec`];
+//! - the `proptest!`, `prop_assert!`, `prop_assert_eq!`, `prop_assume!`,
+//!   and `prop_oneof!` macros;
+//! - [`ProptestConfig`](test_runner::ProptestConfig) with `with_cases`.
+//!
+//! Differences from real proptest: cases are generated from a fixed
+//! per-test seed (the hash of the test's module path and name) so runs are
+//! fully deterministic, and failing cases are reported but **not shrunk**.
+
+#![forbid(unsafe_code)]
+
+/// Strategy trait and combinators.
+pub mod strategy {
+    use rand::Rng;
+    use rand_chacha::ChaCha8Rng;
+
+    /// A recipe for producing random values of type `Self::Value`.
+    ///
+    /// Unlike real proptest there is no value tree: a strategy simply
+    /// samples a concrete value from an RNG, and failing cases are not
+    /// shrunk.
+    pub trait Strategy {
+        /// The type of value this strategy generates.
+        type Value;
+
+        /// Draws one value.
+        fn sample(&self, rng: &mut ChaCha8Rng) -> Self::Value;
+
+        /// Transforms generated values with `map`.
+        fn prop_map<O, F>(self, map: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, map }
+        }
+
+        /// Generates a value, then uses it to pick a second strategy to
+        /// draw from (for dependent inputs).
+        fn prop_flat_map<S, F>(self, make: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S: Strategy,
+            F: Fn(Self::Value) -> S,
+        {
+            FlatMap { inner: self, make }
+        }
+
+        /// Boxes this strategy, erasing its concrete type.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    /// A type-erased strategy.
+    pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut ChaCha8Rng) -> T {
+            (**self).sample(rng)
+        }
+    }
+
+    /// Always produces a clone of the given value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn sample(&self, _rng: &mut ChaCha8Rng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    #[derive(Clone, Debug)]
+    pub struct Map<S, F> {
+        inner: S,
+        map: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn sample(&self, rng: &mut ChaCha8Rng) -> O {
+            (self.map)(self.inner.sample(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    #[derive(Clone, Debug)]
+    pub struct FlatMap<S, F> {
+        inner: S,
+        make: F,
+    }
+
+    impl<S, S2, F> Strategy for FlatMap<S, F>
+    where
+        S: Strategy,
+        S2: Strategy,
+        F: Fn(S::Value) -> S2,
+    {
+        type Value = S2::Value;
+
+        fn sample(&self, rng: &mut ChaCha8Rng) -> S2::Value {
+            (self.make)(self.inner.sample(rng)).sample(rng)
+        }
+    }
+
+    /// Uniform choice between alternative strategies (`prop_oneof!`).
+    pub struct Union<T> {
+        options: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// Builds a union; panics if `options` is empty.
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+            Union { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut ChaCha8Rng) -> T {
+            let choice = rng.gen_range(0..self.options.len());
+            self.options[choice].sample(rng)
+        }
+    }
+
+    impl<T> Strategy for std::ops::Range<T>
+    where
+        T: rand::SampleUniform + Copy + PartialOrd,
+    {
+        type Value = T;
+
+        fn sample(&self, rng: &mut ChaCha8Rng) -> T {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    impl<T> Strategy for std::ops::RangeInclusive<T>
+    where
+        T: rand::SampleUniform + Copy + PartialOrd,
+    {
+        type Value = T;
+
+        fn sample(&self, rng: &mut ChaCha8Rng) -> T {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($($name:ident : $idx:tt),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                fn sample(&self, rng: &mut ChaCha8Rng) -> Self::Value {
+                    ($(self.$idx.sample(rng),)+)
+                }
+            }
+        };
+    }
+
+    tuple_strategy!(A: 0);
+    tuple_strategy!(A: 0, B: 1);
+    tuple_strategy!(A: 0, B: 1, C: 2);
+    tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
+    tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4);
+    tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+
+    /// One element of a parsed string pattern, with its repetition range.
+    enum PatternNode {
+        /// A fixed character.
+        Literal(char),
+        /// `.` — any printable ASCII character.
+        Any,
+        /// `[...]` — one of an explicit character set.
+        Class(Vec<char>),
+        /// `(a|bc|d)` — one of several literal alternatives.
+        Alternation(Vec<String>),
+    }
+
+    /// Like real proptest, a `&str` is a strategy generating strings from
+    /// a regex-like pattern. Supported subset: literal characters, `.`
+    /// (printable ASCII), character classes `[a-z0-9_-]` with ranges,
+    /// non-nested literal alternations `(foo|bar)`, repetition `{n}` /
+    /// `{m,n}` / `*` / `+` / `?`, and `\\`-escapes. Unsupported syntax
+    /// panics with a message naming the pattern.
+    impl Strategy for &str {
+        type Value = String;
+
+        fn sample(&self, rng: &mut ChaCha8Rng) -> String {
+            let nodes = parse_pattern(self);
+            let mut out = String::new();
+            for (node, lo, hi) in &nodes {
+                let count = rng.gen_range(*lo..=*hi);
+                for _ in 0..count {
+                    match node {
+                        PatternNode::Literal(c) => out.push(*c),
+                        PatternNode::Any => {
+                            out.push(char::from(rng.gen_range(0x20u8..=0x7e)));
+                        }
+                        PatternNode::Class(set) => {
+                            out.push(set[rng.gen_range(0..set.len())]);
+                        }
+                        PatternNode::Alternation(options) => {
+                            out.push_str(&options[rng.gen_range(0..options.len())]);
+                        }
+                    }
+                }
+            }
+            out
+        }
+    }
+
+    impl Strategy for String {
+        type Value = String;
+
+        fn sample(&self, rng: &mut ChaCha8Rng) -> String {
+            self.as_str().sample(rng)
+        }
+    }
+
+    /// Unbounded repetitions (`*`, `+`) are capped here.
+    const MAX_UNBOUNDED_REPEAT: usize = 16;
+
+    fn parse_pattern(pattern: &str) -> Vec<(PatternNode, usize, usize)> {
+        let unsupported =
+            |what: &str| -> ! { panic!("unsupported string pattern `{pattern}`: {what}") };
+        let mut nodes: Vec<(PatternNode, usize, usize)> = Vec::new();
+        let mut chars = pattern.chars().peekable();
+        while let Some(c) = chars.next() {
+            let node = match c {
+                '.' => PatternNode::Any,
+                '\\' => {
+                    let escaped = chars
+                        .next()
+                        .unwrap_or_else(|| unsupported("trailing backslash"));
+                    PatternNode::Literal(match escaped {
+                        'n' => '\n',
+                        't' => '\t',
+                        other => other,
+                    })
+                }
+                '[' => {
+                    let mut set = Vec::new();
+                    loop {
+                        let member = match chars.next() {
+                            None => unsupported("unclosed `[`"),
+                            Some(']') => break,
+                            Some('\\') => chars
+                                .next()
+                                .unwrap_or_else(|| unsupported("trailing backslash")),
+                            Some(other) => other,
+                        };
+                        // A `-` between two members is a range; elsewhere
+                        // it is a literal.
+                        if chars.peek() == Some(&'-') {
+                            let mut lookahead = chars.clone();
+                            lookahead.next();
+                            match lookahead.peek() {
+                                Some(&end) if end != ']' => {
+                                    chars.next();
+                                    chars.next();
+                                    if member > end {
+                                        unsupported("descending class range");
+                                    }
+                                    set.extend(member..=end);
+                                    continue;
+                                }
+                                _ => {}
+                            }
+                        }
+                        set.push(member);
+                    }
+                    if set.is_empty() {
+                        unsupported("empty character class");
+                    }
+                    PatternNode::Class(set)
+                }
+                '(' => {
+                    let mut options = vec![String::new()];
+                    loop {
+                        match chars.next() {
+                            None => unsupported("unclosed `(`"),
+                            Some(')') => break,
+                            Some('|') => options.push(String::new()),
+                            Some('(') | Some('[') => unsupported("nested group in alternation"),
+                            Some('\\') => {
+                                let escaped = chars
+                                    .next()
+                                    .unwrap_or_else(|| unsupported("trailing backslash"));
+                                options.last_mut().expect("non-empty").push(escaped);
+                            }
+                            Some(other) => options.last_mut().expect("non-empty").push(other),
+                        }
+                    }
+                    PatternNode::Alternation(options)
+                }
+                ')' | ']' | '|' | '{' | '}' | '*' | '+' | '?' => {
+                    unsupported("metacharacter outside a group")
+                }
+                literal => PatternNode::Literal(literal),
+            };
+            // An optional repetition suffix.
+            let (lo, hi) = match chars.peek() {
+                Some('{') => {
+                    chars.next();
+                    let body: String = chars.by_ref().take_while(|&c| c != '}').collect();
+                    let parse = |text: &str| -> usize {
+                        text.trim()
+                            .parse()
+                            .unwrap_or_else(|_| unsupported("bad `{}` count"))
+                    };
+                    match body.split_once(',') {
+                        Some((lo, hi)) => (parse(lo), parse(hi)),
+                        None => {
+                            let n = parse(&body);
+                            (n, n)
+                        }
+                    }
+                }
+                Some('*') => {
+                    chars.next();
+                    (0, MAX_UNBOUNDED_REPEAT)
+                }
+                Some('+') => {
+                    chars.next();
+                    (1, MAX_UNBOUNDED_REPEAT)
+                }
+                Some('?') => {
+                    chars.next();
+                    (0, 1)
+                }
+                _ => (1, 1),
+            };
+            if lo > hi {
+                unsupported("descending `{}` count");
+            }
+            nodes.push((node, lo, hi));
+        }
+        nodes
+    }
+}
+
+/// Strategies for collections.
+pub mod collection {
+    use super::strategy::Strategy;
+    use rand::Rng;
+    use rand_chacha::ChaCha8Rng;
+
+    /// An inclusive range of collection sizes.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty proptest size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty proptest size range");
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    /// Generates `Vec`s whose length is drawn from `size` and whose
+    /// elements are drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// See [`vec`].
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut ChaCha8Rng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.lo..=self.size.hi);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Test-case execution: configuration, error plumbing, and the runner the
+/// `proptest!` macro expands into.
+pub mod test_runner {
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    /// Why a single generated case did not pass.
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        /// An assertion failed; the whole test fails.
+        Fail(String),
+        /// `prop_assume!` rejected the inputs; the case is re-drawn.
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        /// An assertion failure.
+        pub fn fail(message: impl Into<String>) -> Self {
+            TestCaseError::Fail(message.into())
+        }
+
+        /// An input rejection.
+        pub fn reject(message: impl Into<String>) -> Self {
+            TestCaseError::Reject(message.into())
+        }
+    }
+
+    /// Execution knobs for a `proptest!` block.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of passing cases required.
+        pub cases: u32,
+        /// Cap on `prop_assume!` rejections across the whole run.
+        pub max_global_rejects: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config that requires `cases` passing cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig {
+                cases,
+                ..ProptestConfig::default()
+            }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig {
+                cases: 256,
+                max_global_rejects: 65_536,
+            }
+        }
+    }
+
+    /// FNV-1a, used to derive a stable RNG seed from the test name.
+    fn fnv1a(text: &str) -> u64 {
+        let mut hash = 0xcbf2_9ce4_8422_2325u64;
+        for byte in text.bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        hash
+    }
+
+    /// Runs `test` until `config.cases` cases pass. Deterministic: the RNG
+    /// seed is derived from `name`, so a failure always reproduces.
+    pub fn run_named<F>(name: &str, config: &ProptestConfig, mut test: F)
+    where
+        F: FnMut(&mut ChaCha8Rng) -> Result<(), TestCaseError>,
+    {
+        let seed = fnv1a(name);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut passed = 0u32;
+        let mut rejects = 0u32;
+        while passed < config.cases {
+            match test(&mut rng) {
+                Ok(()) => passed += 1,
+                Err(TestCaseError::Reject(why)) => {
+                    rejects += 1;
+                    if rejects > config.max_global_rejects {
+                        panic!(
+                            "proptest `{name}`: too many prop_assume! rejections \
+                             ({rejects}); last: {why}"
+                        );
+                    }
+                }
+                Err(TestCaseError::Fail(why)) => {
+                    panic!(
+                        "proptest `{name}` failed after {passed} passing cases \
+                         (seed {seed:#x}, no shrinking): {why}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The standard import: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+
+    /// The `prop` namespace (`prop::collection::vec(...)`).
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::strategy;
+    }
+}
+
+/// Defines deterministic property tests.
+///
+/// Accepts an optional `#![proptest_config(expr)]` header followed by any
+/// number of `fn name(pat in strategy, ...) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            ($crate::test_runner::ProptestConfig::default())
+            $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (
+        ($config:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident( $($pat:pat in $strategy:expr),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            #[test]
+            fn $name() {
+                let __config: $crate::test_runner::ProptestConfig = $config;
+                $crate::test_runner::run_named(
+                    ::std::concat!(::std::module_path!(), "::", ::std::stringify!($name)),
+                    &__config,
+                    |__rng| {
+                        $(
+                            let $pat = $crate::strategy::Strategy::sample(&($strategy), __rng);
+                        )+
+                        let __out: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                            (|| {
+                                $body
+                                ::std::result::Result::Ok(())
+                            })();
+                        __out
+                    },
+                );
+            }
+        )*
+    };
+}
+
+/// Fails the current case (without panicking immediately) when the
+/// condition is false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", ::std::stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// `prop_assert!` for equality, showing both values on failure.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__left, __right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__left == *__right,
+            "assertion failed: `{:?}` == `{:?}`",
+            __left,
+            __right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__left, __right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__left == *__right,
+            "assertion failed: `{:?}` == `{:?}`: {}",
+            __left,
+            __right,
+            ::std::format!($($fmt)+)
+        );
+    }};
+}
+
+/// `prop_assert!` for inequality, showing both values on failure.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__left, __right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__left != *__right,
+            "assertion failed: `{:?}` != `{:?}`",
+            __left,
+            __right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__left, __right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__left != *__right,
+            "assertion failed: `{:?}` != `{:?}`: {}",
+            __left,
+            __right,
+            ::std::format!($($fmt)+)
+        );
+    }};
+}
+
+/// Rejects the current case (re-drawn, not counted) when the condition is
+/// false.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                ::std::concat!("assumption failed: ", ::std::stringify!($cond)),
+            ));
+        }
+    };
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($option:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $($crate::strategy::Strategy::boxed($option)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        use crate::strategy::Strategy;
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+        for _ in 0..200 {
+            let v = (5i64..400).sample(&mut rng);
+            assert!((5..400).contains(&v));
+            let w = (2usize..=12).sample(&mut rng);
+            assert!((2..=12).contains(&w));
+            let f = (0.0f64..100.0).sample(&mut rng);
+            assert!((0.0..100.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn vec_respects_size_range() {
+        use crate::strategy::Strategy;
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(2);
+        let strat = prop::collection::vec(0u32..10, 3..=7);
+        for _ in 0..100 {
+            let v = strat.sample(&mut rng);
+            assert!((3..=7).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 10));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        fn macro_basics((a, b) in (0i64..100, 0i64..100), scale in 1i64..=4) {
+            prop_assert!(a < 100 && b < 100);
+            prop_assert_eq!(scale * (a + b), scale * a + scale * b);
+        }
+
+        fn flat_map_dependent_inputs(
+            (lo, hi) in (0i64..50).prop_flat_map(|lo| (Just(lo), (lo + 1)..51)),
+        ) {
+            prop_assert!(lo < hi);
+        }
+
+        fn assume_rejects_without_failing(n in 0u32..10) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0);
+        }
+
+        fn oneof_and_collections(
+            choice in prop_oneof![Just(1u8), Just(2u8)],
+            items in prop::collection::vec(0i64..5, 1..4),
+        ) {
+            prop_assert!(choice == 1 || choice == 2);
+            prop_assert!(!items.is_empty());
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        use crate::strategy::Strategy;
+        use rand::SeedableRng;
+        let strat = (0i64..1000).prop_map(|v| v * 2);
+        let mut a = rand_chacha::ChaCha8Rng::seed_from_u64(9);
+        let mut b = rand_chacha::ChaCha8Rng::seed_from_u64(9);
+        for _ in 0..50 {
+            assert_eq!(strat.sample(&mut a), strat.sample(&mut b));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed after")]
+    fn failing_case_panics_with_context() {
+        crate::test_runner::run_named("demo::always_fails", &ProptestConfig::with_cases(4), |_| {
+            Err(TestCaseError::fail("boom"))
+        });
+    }
+
+    #[test]
+    fn string_patterns_generate_matching_text() {
+        use crate::strategy::Strategy;
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(3);
+        for _ in 0..50 {
+            let any = ".{0,5}".sample(&mut rng);
+            assert!(any.len() <= 5);
+            assert!(any.chars().all(|c| (' '..='~').contains(&c)), "{any:?}");
+
+            let word = "[a-c0-1]{2,4}".sample(&mut rng);
+            assert!((2..=4).contains(&word.len()));
+            assert!(word.chars().all(|c| "abc01".contains(c)), "{word:?}");
+
+            let keyword = "(module|net)".sample(&mut rng);
+            assert!(keyword == "module" || keyword == "net", "{keyword:?}");
+
+            let mixed = "ab?c+".sample(&mut rng);
+            assert!(mixed.starts_with('a'), "{mixed:?}");
+            assert!(mixed.ends_with('c'), "{mixed:?}");
+
+            let dash = "[a-z-]{1,3}".sample(&mut rng);
+            assert!(
+                dash.chars().all(|c| c == '-' || c.is_ascii_lowercase()),
+                "{dash:?}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported string pattern")]
+    fn unsupported_pattern_syntax_panics() {
+        use crate::strategy::Strategy;
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0);
+        let _ = "a(b(c))".sample(&mut rng);
+    }
+}

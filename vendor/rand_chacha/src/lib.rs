@@ -1,0 +1,281 @@
+//! Offline stand-in for the [`rand_chacha`](https://crates.io/crates/rand_chacha)
+//! crate: a genuine ChaCha8 block cipher driven as a PRNG.
+//!
+//! The build environment has no crates.io access, so the workspace vendors
+//! the one generator it uses, [`ChaCha8Rng`]. The keystream is a faithful
+//! ChaCha8 (8 rounds, RFC 7539 state layout with a 64-bit block counter),
+//! but `seed_from_u64` expands seeds with SplitMix64 like rand_core 0.6, so
+//! streams are deterministic per seed while not byte-compatible with
+//! upstream `rand_chacha`.
+//!
+//! With the `serde1` feature (on by default in this workspace) the full
+//! generator state — seed, block counter, and intra-block position —
+//! serializes losslessly, which is what gives annealing checkpoints
+//! bit-identical resume.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::{RngCore, SeedableRng};
+
+const WORDS_PER_BLOCK: usize = 16;
+
+/// A ChaCha8-based pseudo-random generator with serializable state.
+#[derive(Clone, Debug)]
+pub struct ChaCha8Rng {
+    seed: [u8; 32],
+    /// The counter of the *next* block to generate.
+    counter: u64,
+    /// Current keystream block; invalid when `index == WORDS_PER_BLOCK`.
+    buffer: [u32; WORDS_PER_BLOCK],
+    /// Next unread word within `buffer`.
+    index: usize,
+}
+
+impl PartialEq for ChaCha8Rng {
+    fn eq(&self, other: &Self) -> bool {
+        // Equality of logical stream position, not internal scratch.
+        self.seed == other.seed && self.counter == other.counter && self.index == other.index
+    }
+}
+
+impl Eq for ChaCha8Rng {}
+
+#[inline(always)]
+fn quarter_round(state: &mut [u32; WORDS_PER_BLOCK], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+fn chacha8_block(seed: &[u8; 32], counter: u64) -> [u32; WORDS_PER_BLOCK] {
+    let mut state = [0u32; WORDS_PER_BLOCK];
+    // "expand 32-byte k"
+    state[0] = 0x6170_7865;
+    state[1] = 0x3320_646e;
+    state[2] = 0x7962_2d32;
+    state[3] = 0x6b20_6574;
+    for (i, chunk) in seed.chunks_exact(4).enumerate() {
+        state[4 + i] = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+    }
+    state[12] = counter as u32;
+    state[13] = (counter >> 32) as u32;
+    // Words 14/15 (nonce) stay zero: one stream per seed.
+    let initial = state;
+    for _ in 0..4 {
+        // A double round: 4 column + 4 diagonal quarter rounds.
+        quarter_round(&mut state, 0, 4, 8, 12);
+        quarter_round(&mut state, 1, 5, 9, 13);
+        quarter_round(&mut state, 2, 6, 10, 14);
+        quarter_round(&mut state, 3, 7, 11, 15);
+        quarter_round(&mut state, 0, 5, 10, 15);
+        quarter_round(&mut state, 1, 6, 11, 12);
+        quarter_round(&mut state, 2, 7, 8, 13);
+        quarter_round(&mut state, 3, 4, 9, 14);
+    }
+    for (word, init) in state.iter_mut().zip(initial) {
+        *word = word.wrapping_add(init);
+    }
+    state
+}
+
+impl ChaCha8Rng {
+    fn refill(&mut self) {
+        self.buffer = chacha8_block(&self.seed, self.counter);
+        self.counter = self.counter.wrapping_add(1);
+        self.index = 0;
+    }
+
+    /// The seed this generator was created from.
+    #[must_use]
+    pub fn get_seed(&self) -> [u8; 32] {
+        self.seed
+    }
+
+    /// Number of 32-bit words consumed so far (the logical stream
+    /// position).
+    #[must_use]
+    pub fn word_pos(&self) -> u128 {
+        let blocks_done = if self.index == WORDS_PER_BLOCK {
+            u128::from(self.counter)
+        } else {
+            u128::from(self.counter).saturating_sub(1)
+        };
+        blocks_done * WORDS_PER_BLOCK as u128 + (self.index % WORDS_PER_BLOCK) as u128
+    }
+}
+
+impl SeedableRng for ChaCha8Rng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        ChaCha8Rng {
+            seed,
+            counter: 0,
+            buffer: [0; WORDS_PER_BLOCK],
+            index: WORDS_PER_BLOCK,
+        }
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u32(&mut self) -> u32 {
+        if self.index == WORDS_PER_BLOCK {
+            self.refill();
+        }
+        let word = self.buffer[self.index];
+        self.index += 1;
+        word
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let lo = u64::from(self.next_u32());
+        let hi = u64::from(self.next_u32());
+        lo | (hi << 32)
+    }
+}
+
+#[cfg(feature = "serde1")]
+mod serde_impls {
+    use super::{chacha8_block, ChaCha8Rng, WORDS_PER_BLOCK};
+    use serde::{DeError, Deserialize, Serialize, Value};
+
+    impl Serialize for ChaCha8Rng {
+        fn to_value(&self) -> Value {
+            Value::Map(vec![
+                (
+                    "seed".to_string(),
+                    Value::Seq(
+                        self.seed
+                            .iter()
+                            .map(|&b| Value::UInt(u64::from(b)))
+                            .collect(),
+                    ),
+                ),
+                ("counter".to_string(), Value::UInt(self.counter)),
+                ("index".to_string(), Value::UInt(self.index as u64)),
+            ])
+        }
+    }
+
+    impl Deserialize for ChaCha8Rng {
+        fn from_value(value: &Value) -> Result<Self, DeError> {
+            let map = serde::expect_map(value, "ChaCha8Rng")?;
+            let seed_words: Vec<u64> = serde::get_field(map, "seed", "ChaCha8Rng")?;
+            let seed_bytes: Result<Vec<u8>, _> = seed_words
+                .iter()
+                .map(|&w| u8::try_from(w).map_err(|_| DeError::new("seed byte out of range")))
+                .collect();
+            let seed_bytes = seed_bytes?;
+            let seed: [u8; 32] = seed_bytes
+                .try_into()
+                .map_err(|_| DeError::new("ChaCha8Rng seed must be 32 bytes"))?;
+            let counter: u64 = serde::get_field(map, "counter", "ChaCha8Rng")?;
+            let index_u64: u64 = serde::get_field(map, "index", "ChaCha8Rng")?;
+            let index = usize::try_from(index_u64)
+                .ok()
+                .filter(|&i| i <= WORDS_PER_BLOCK)
+                .ok_or_else(|| DeError::new("ChaCha8Rng index out of range"))?;
+            if index < WORDS_PER_BLOCK && counter == 0 {
+                return Err(DeError::new(
+                    "ChaCha8Rng state inconsistent: mid-block position with no block generated",
+                ));
+            }
+            let buffer = if index < WORDS_PER_BLOCK {
+                // The active block was generated with the previous counter.
+                chacha8_block(&seed, counter - 1)
+            } else {
+                [0; WORDS_PER_BLOCK]
+            };
+            Ok(ChaCha8Rng {
+                seed,
+                counter,
+                buffer,
+                index,
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = ChaCha8Rng::seed_from_u64(42);
+        let mut b = ChaCha8Rng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = ChaCha8Rng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn chacha_quarter_round_rfc7539_vector() {
+        // RFC 7539 §2.1.1 test vector for the quarter round.
+        let mut state = [0u32; WORDS_PER_BLOCK];
+        state[0] = 0x11111111;
+        state[1] = 0x01020304;
+        state[2] = 0x9b8d6f43;
+        state[3] = 0x01234567;
+        quarter_round(&mut state, 0, 1, 2, 3);
+        assert_eq!(state[0], 0xea2a92f4);
+        assert_eq!(state[1], 0xcb1cf8ce);
+        assert_eq!(state[2], 0x4581472e);
+        assert_eq!(state[3], 0x5881c4bb);
+    }
+
+    #[test]
+    fn uniformish_output() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let n = 10_000;
+        let mean: f64 = (0..n).map(|_| rng.gen::<f64>()).sum::<f64>() / f64::from(n);
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn clone_preserves_stream() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        for _ in 0..37 {
+            rng.next_u32();
+        }
+        let mut copy = rng.clone();
+        for _ in 0..100 {
+            assert_eq!(rng.next_u64(), copy.next_u64());
+        }
+    }
+
+    #[cfg(feature = "serde1")]
+    #[test]
+    fn serde_roundtrip_mid_block() {
+        let mut rng = ChaCha8Rng::seed_from_u64(99);
+        for _ in 0..23 {
+            rng.next_u32();
+        }
+        let value = serde::Serialize::to_value(&rng);
+        let mut restored: ChaCha8Rng = serde::Deserialize::from_value(&value).expect("roundtrip");
+        for _ in 0..200 {
+            assert_eq!(rng.next_u64(), restored.next_u64());
+        }
+    }
+
+    #[cfg(feature = "serde1")]
+    #[test]
+    fn serde_roundtrip_fresh() {
+        let rng = ChaCha8Rng::seed_from_u64(1);
+        let value = serde::Serialize::to_value(&rng);
+        let mut restored: ChaCha8Rng = serde::Deserialize::from_value(&value).expect("roundtrip");
+        let mut original = ChaCha8Rng::seed_from_u64(1);
+        for _ in 0..64 {
+            assert_eq!(original.next_u32(), restored.next_u32());
+        }
+    }
+}

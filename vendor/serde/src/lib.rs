@@ -1,0 +1,544 @@
+//! Offline stand-in for [`serde`](https://crates.io/crates/serde).
+//!
+//! The build environment has no crates.io access, so the workspace vendors
+//! a compact serialization framework with serde's *surface* — `Serialize`
+//! and `Deserialize` traits plus `#[derive(Serialize, Deserialize)]` — but
+//! a much simpler contract: every type converts to and from a [`Value`]
+//! tree (the JSON data model plus distinct integer kinds), and formats such
+//! as `serde_json` print and parse that tree.
+//!
+//! Fidelity notes:
+//!
+//! * `f64` values survive a round trip **bit-exactly** (the writer uses
+//!   Rust's shortest-roundtrip float formatting; non-finite values are
+//!   encoded as strings). This is what annealing checkpoints rely on.
+//! * `i128`/`u128` are encoded as decimal strings.
+//! * Derived struct encodings are maps keyed by field name; newtype
+//!   structs are transparent; tuple structs are sequences; enum unit
+//!   variants are strings and payload variants single-entry maps — the
+//!   same shapes `serde_json` produces for real serde.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::error::Error;
+use std::fmt;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The self-describing value tree every serializable type converts
+/// through.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null` / Rust `Option::None`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A signed integer.
+    Int(i64),
+    /// An unsigned integer (used when the value exceeds `i64::MAX`).
+    UInt(u64),
+    /// A double-precision float.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An ordered sequence.
+    Seq(Vec<Value>),
+    /// An ordered map with string keys (field order is preserved).
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up a key in a [`Value::Map`].
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Map(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+/// Deserialization error: what was expected, and where it went wrong.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError {
+    message: String,
+}
+
+impl DeError {
+    /// Creates an error with the given message.
+    #[must_use]
+    pub fn new(message: impl Into<String>) -> DeError {
+        DeError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "deserialization error: {}", self.message)
+    }
+}
+
+impl Error for DeError {}
+
+/// Types that can convert themselves into a [`Value`] tree.
+pub trait Serialize {
+    /// Converts `self` to a value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can reconstruct themselves from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Parses a value tree into `Self`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DeError`] naming the expected shape when the tree does
+    /// not match.
+    fn from_value(value: &Value) -> Result<Self, DeError>;
+}
+
+// ---- helpers used by the derive macros -------------------------------
+
+/// Extracts the entries of a [`Value::Map`], or errors naming `ty`.
+///
+/// # Errors
+///
+/// Returns a [`DeError`] when `value` is not a map.
+pub fn expect_map<'v>(value: &'v Value, ty: &str) -> Result<&'v [(String, Value)], DeError> {
+    match value {
+        Value::Map(entries) => Ok(entries),
+        other => Err(DeError::new(format!(
+            "expected map for {ty}, found {other:?}"
+        ))),
+    }
+}
+
+/// Extracts the elements of a [`Value::Seq`], or errors naming `ty`.
+///
+/// # Errors
+///
+/// Returns a [`DeError`] when `value` is not a sequence.
+pub fn expect_seq<'v>(value: &'v Value, ty: &str) -> Result<&'v [Value], DeError> {
+    match value {
+        Value::Seq(items) => Ok(items),
+        other => Err(DeError::new(format!(
+            "expected sequence for {ty}, found {other:?}"
+        ))),
+    }
+}
+
+/// Deserializes the field `name` out of a derived struct's map.
+///
+/// # Errors
+///
+/// Returns a [`DeError`] when the field is missing or has the wrong shape.
+pub fn get_field<T: Deserialize>(
+    map: &[(String, Value)],
+    name: &str,
+    ty: &str,
+) -> Result<T, DeError> {
+    let value = map
+        .iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| v)
+        .ok_or_else(|| DeError::new(format!("missing field `{name}` for {ty}")))?;
+    T::from_value(value).map_err(|e| DeError::new(format!("field `{name}` of {ty}: {e}")))
+}
+
+// ---- primitive impls -------------------------------------------------
+
+macro_rules! impl_serde_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Int(i64::from(*self))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                let wide = i64::from_value(value)?;
+                <$t>::try_from(wide).map_err(|_| {
+                    DeError::new(format!(
+                        "{wide} out of range for {}", stringify!($t)
+                    ))
+                })
+            }
+        }
+    )*};
+}
+
+impl_serde_signed!(i8, i16, i32);
+
+macro_rules! impl_serde_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::UInt(u64::from(*self))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                let wide = u64::from_value(value)?;
+                <$t>::try_from(wide).map_err(|_| {
+                    DeError::new(format!(
+                        "{wide} out of range for {}", stringify!($t)
+                    ))
+                })
+            }
+        }
+    )*};
+}
+
+impl_serde_unsigned!(u8, u16, u32);
+
+impl Serialize for i64 {
+    fn to_value(&self) -> Value {
+        Value::Int(*self)
+    }
+}
+
+impl Deserialize for i64 {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Int(v) => Ok(*v),
+            Value::UInt(v) => {
+                i64::try_from(*v).map_err(|_| DeError::new(format!("{v} out of range for i64")))
+            }
+            other => Err(DeError::new(format!("expected integer, found {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for u64 {
+    fn to_value(&self) -> Value {
+        Value::UInt(*self)
+    }
+}
+
+impl Deserialize for u64 {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::UInt(v) => Ok(*v),
+            Value::Int(v) => {
+                u64::try_from(*v).map_err(|_| DeError::new(format!("{v} out of range for u64")))
+            }
+            other => Err(DeError::new(format!("expected integer, found {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for usize {
+    fn to_value(&self) -> Value {
+        Value::UInt(*self as u64)
+    }
+}
+
+impl Deserialize for usize {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let wide = u64::from_value(value)?;
+        usize::try_from(wide).map_err(|_| DeError::new(format!("{wide} out of range for usize")))
+    }
+}
+
+impl Serialize for isize {
+    fn to_value(&self) -> Value {
+        Value::Int(*self as i64)
+    }
+}
+
+impl Deserialize for isize {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let wide = i64::from_value(value)?;
+        isize::try_from(wide).map_err(|_| DeError::new(format!("{wide} out of range for isize")))
+    }
+}
+
+impl Serialize for i128 {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for i128 {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Str(s) => s
+                .parse::<i128>()
+                .map_err(|_| DeError::new(format!("`{s}` is not an i128"))),
+            Value::Int(v) => Ok(i128::from(*v)),
+            Value::UInt(v) => Ok(i128::from(*v)),
+            other => Err(DeError::new(format!("expected i128, found {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for u128 {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for u128 {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Str(s) => s
+                .parse::<u128>()
+                .map_err(|_| DeError::new(format!("`{s}` is not a u128"))),
+            Value::UInt(v) => Ok(u128::from(*v)),
+            Value::Int(v) => {
+                u128::try_from(*v).map_err(|_| DeError::new(format!("{v} out of range for u128")))
+            }
+            other => Err(DeError::new(format!("expected u128, found {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Float(v) => Ok(*v),
+            Value::Int(v) => Ok(*v as f64),
+            Value::UInt(v) => Ok(*v as f64),
+            // Non-finite floats are encoded as strings.
+            Value::Str(s) => s
+                .parse::<f64>()
+                .map_err(|_| DeError::new(format!("`{s}` is not a float"))),
+            other => Err(DeError::new(format!("expected float, found {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Float(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        Ok(f64::from_value(value)? as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::new(format!("expected bool, found {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(DeError::new(format!("expected string, found {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let s = String::from_value(value)?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(DeError::new(format!("expected single char, found `{s}`"))),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        T::from_value(value).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        expect_seq(value, "Vec")?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize + fmt::Debug, const N: usize> Deserialize for [T; N] {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let items: Vec<T> = Vec::from_value(value)?;
+        let len = items.len();
+        items
+            .try_into()
+            .map_err(|_| DeError::new(format!("expected array of length {N}, found {len}")))
+    }
+}
+
+macro_rules! impl_serde_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                let items = expect_seq(value, "tuple")?;
+                let expected = [$($idx,)+].len();
+                if items.len() != expected {
+                    return Err(DeError::new(format!(
+                        "expected tuple of {expected}, found {} elements", items.len()
+                    )));
+                }
+                Ok(($($name::from_value(&items[$idx])?,)+))
+            }
+        }
+    )*};
+}
+
+impl_serde_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        Ok(value.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(i64::from_value(&42i64.to_value()).unwrap(), 42);
+        assert_eq!(u32::from_value(&7u32.to_value()).unwrap(), 7);
+        assert!(bool::from_value(&true.to_value()).unwrap());
+        assert_eq!(
+            String::from_value(&"hi".to_string().to_value()).unwrap(),
+            "hi"
+        );
+        let v: Vec<i64> = Deserialize::from_value(&vec![1i64, 2, 3].to_value()).unwrap();
+        assert_eq!(v, vec![1, 2, 3]);
+        let pair: (i64, bool) = Deserialize::from_value(&(5i64, false).to_value()).unwrap();
+        assert_eq!(pair, (5, false));
+        let big: i128 = Deserialize::from_value(&(1i128 << 100).to_value()).unwrap();
+        assert_eq!(big, 1i128 << 100);
+    }
+
+    #[test]
+    fn option_roundtrip() {
+        let none: Option<i64> = Deserialize::from_value(&Option::<i64>::None.to_value()).unwrap();
+        assert_eq!(none, None);
+        let some: Option<i64> = Deserialize::from_value(&Some(9i64).to_value()).unwrap();
+        assert_eq!(some, Some(9));
+    }
+
+    #[test]
+    fn wrong_shape_is_typed_error() {
+        let err = bool::from_value(&Value::Int(1)).unwrap_err();
+        assert!(err.to_string().contains("expected bool"));
+        let err = i8::from_value(&Value::Int(1000)).unwrap_err();
+        assert!(err.to_string().contains("out of range"));
+    }
+
+    #[test]
+    fn map_get() {
+        let v = Value::Map(vec![("a".into(), Value::Int(1))]);
+        assert_eq!(v.get("a"), Some(&Value::Int(1)));
+        assert_eq!(v.get("b"), None);
+    }
+}

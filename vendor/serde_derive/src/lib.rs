@@ -1,0 +1,554 @@
+//! Offline stand-in for the [`serde_derive`](https://crates.io/crates/serde_derive)
+//! crate.
+//!
+//! The build environment has no crates.io access, so `syn`/`quote` are not
+//! available; the derives here parse the item's token stream by hand and
+//! emit the trait impls as formatted source text. They cover exactly the
+//! shapes this workspace uses:
+//!
+//! - unit, newtype, tuple, and named-field structs (optionally generic);
+//! - enums with unit, tuple, and struct variants.
+//!
+//! Encodings match the vendored `serde` value model: named structs become
+//! maps, newtypes are transparent, tuple structs become sequences, unit
+//! enum variants become strings, and payload variants become single-entry
+//! maps keyed by the variant name.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::fmt::Write as _;
+
+/// Derives `serde::Serialize` (the vendored value-tree flavor).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Trait::Serialize)
+}
+
+/// Derives `serde::Deserialize` (the vendored value-tree flavor).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Trait::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Trait {
+    Serialize,
+    Deserialize,
+}
+
+enum Body {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    body: VariantBody,
+}
+
+enum VariantBody {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+struct Item {
+    name: String,
+    /// Generic parameter names, e.g. `["S"]` for `Foo<S>`.
+    generics: Vec<String>,
+    body: Body,
+}
+
+fn expand(input: TokenStream, which: Trait) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(message) => {
+            let escaped = message.replace('\\', "\\\\").replace('"', "\\\"");
+            return format!("::std::compile_error!(\"{escaped}\");")
+                .parse()
+                .expect("compile_error tokens");
+        }
+    };
+    let code = match which {
+        Trait::Serialize => emit_serialize(&item),
+        Trait::Deserialize => emit_deserialize(&item),
+    };
+    code.parse().expect("generated impl tokens")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+
+    skip_attrs_and_vis(&tokens, &mut pos);
+    let keyword = match tokens.get(pos) {
+        Some(TokenTree::Ident(ident)) => ident.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, found {other:?}")),
+    };
+    if keyword != "struct" && keyword != "enum" {
+        return Err(format!(
+            "derive only supports structs and enums, found `{keyword}`"
+        ));
+    }
+    pos += 1;
+
+    let name = match tokens.get(pos) {
+        Some(TokenTree::Ident(ident)) => ident.to_string(),
+        other => return Err(format!("expected type name, found {other:?}")),
+    };
+    pos += 1;
+
+    let generics = parse_generics(&tokens, &mut pos)?;
+
+    // Skip a `where` clause if present (none of the workspace types use
+    // one, but don't silently mis-parse if one appears).
+    if let Some(TokenTree::Ident(ident)) = tokens.get(pos) {
+        if ident.to_string() == "where" {
+            return Err("derive stand-in does not support `where` clauses".to_string());
+        }
+    }
+
+    let body = if keyword == "enum" {
+        match tokens.get(pos) {
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Brace => {
+                Body::Enum(parse_variants(group.stream())?)
+            }
+            other => return Err(format!("expected enum body, found {other:?}")),
+        }
+    } else {
+        match tokens.get(pos) {
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Brace => {
+                Body::Named(parse_named_fields(group.stream())?)
+            }
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Parenthesis => {
+                Body::Tuple(count_tuple_fields(group.stream()))
+            }
+            Some(TokenTree::Punct(punct)) if punct.as_char() == ';' => Body::Unit,
+            other => return Err(format!("expected struct body, found {other:?}")),
+        }
+    };
+
+    Ok(Item {
+        name,
+        generics,
+        body,
+    })
+}
+
+fn skip_attrs_and_vis(tokens: &[TokenTree], pos: &mut usize) {
+    loop {
+        match tokens.get(*pos) {
+            Some(TokenTree::Punct(punct)) if punct.as_char() == '#' => {
+                // `#[...]` attribute: skip the pound and the bracket group.
+                *pos += 1;
+                if matches!(tokens.get(*pos), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
+                {
+                    *pos += 1;
+                }
+            }
+            Some(TokenTree::Ident(ident)) if ident.to_string() == "pub" => {
+                *pos += 1;
+                // `pub(crate)` / `pub(in ...)` restriction.
+                if matches!(tokens.get(*pos), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *pos += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Parses `<...>` after the type name, returning type-parameter names.
+/// Lifetimes and const parameters are rejected: the serialized types in
+/// this workspace are plain data and never borrow.
+fn parse_generics(tokens: &[TokenTree], pos: &mut usize) -> Result<Vec<String>, String> {
+    match tokens.get(*pos) {
+        Some(TokenTree::Punct(punct)) if punct.as_char() == '<' => {}
+        _ => return Ok(Vec::new()),
+    }
+    *pos += 1;
+
+    let mut params = Vec::new();
+    let mut depth = 1usize;
+    // True at positions where a fresh parameter may start (after `<` or a
+    // depth-1 comma); bounds after `:` are skipped until the next comma.
+    let mut at_param_start = true;
+    while depth > 0 {
+        let token = tokens
+            .get(*pos)
+            .ok_or_else(|| "unbalanced `<` in generics".to_string())?;
+        match token {
+            TokenTree::Punct(punct) => match punct.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 1 => at_param_start = true,
+                '\'' => return Err("derive stand-in does not support lifetimes".to_string()),
+                _ => {}
+            },
+            TokenTree::Ident(ident) if depth == 1 && at_param_start => {
+                let text = ident.to_string();
+                if text == "const" {
+                    return Err("derive stand-in does not support const generics".to_string());
+                }
+                params.push(text);
+                at_param_start = false;
+            }
+            _ => {}
+        }
+        *pos += 1;
+    }
+    Ok(params)
+}
+
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        let name = match tokens.get(pos) {
+            Some(TokenTree::Ident(ident)) => ident.to_string(),
+            other => return Err(format!("expected field name, found {other:?}")),
+        };
+        pos += 1;
+        match tokens.get(pos) {
+            Some(TokenTree::Punct(punct)) if punct.as_char() == ':' => pos += 1,
+            other => {
+                return Err(format!(
+                    "expected `:` after field `{name}`, found {other:?}"
+                ))
+            }
+        }
+        fields.push(name);
+        skip_type(&tokens, &mut pos);
+    }
+    Ok(fields)
+}
+
+/// Advances past a type expression, stopping after the comma that follows
+/// it (or at end of stream). Tracks `<`/`>` so commas inside generic
+/// arguments don't terminate the field early.
+fn skip_type(tokens: &[TokenTree], pos: &mut usize) {
+    let mut angle_depth = 0usize;
+    while let Some(token) = tokens.get(*pos) {
+        if let TokenTree::Punct(punct) = token {
+            match punct.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth = angle_depth.saturating_sub(1),
+                ',' if angle_depth == 0 => {
+                    *pos += 1;
+                    return;
+                }
+                _ => {}
+            }
+        }
+        *pos += 1;
+    }
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut angle_depth = 0usize;
+    let mut fields = 1usize;
+    let mut last_was_comma = false;
+    for token in &tokens {
+        last_was_comma = false;
+        if let TokenTree::Punct(punct) = token {
+            match punct.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth = angle_depth.saturating_sub(1),
+                ',' if angle_depth == 0 => {
+                    fields += 1;
+                    last_was_comma = true;
+                }
+                _ => {}
+            }
+        }
+    }
+    if last_was_comma {
+        fields -= 1; // trailing comma
+    }
+    fields
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        let name = match tokens.get(pos) {
+            Some(TokenTree::Ident(ident)) => ident.to_string(),
+            other => return Err(format!("expected variant name, found {other:?}")),
+        };
+        pos += 1;
+        let body = match tokens.get(pos) {
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Parenthesis => {
+                pos += 1;
+                VariantBody::Tuple(count_tuple_fields(group.stream()))
+            }
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Brace => {
+                pos += 1;
+                VariantBody::Named(parse_named_fields(group.stream())?)
+            }
+            _ => VariantBody::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) up to the next comma.
+        if let Some(TokenTree::Punct(punct)) = tokens.get(pos) {
+            if punct.as_char() == '=' {
+                return Err("derive stand-in does not support explicit discriminants".to_string());
+            }
+        }
+        match tokens.get(pos) {
+            Some(TokenTree::Punct(punct)) if punct.as_char() == ',' => pos += 1,
+            None => {}
+            other => {
+                return Err(format!(
+                    "expected `,` after variant `{name}`, found {other:?}"
+                ))
+            }
+        }
+        variants.push(Variant { name, body });
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+/// `impl<S: ::serde::Serialize> ::serde::Serialize for Foo<S>` header parts.
+fn impl_header(item: &Item, trait_name: &str) -> (String, String) {
+    if item.generics.is_empty() {
+        (String::new(), item.name.clone())
+    } else {
+        let bounds: Vec<String> = item
+            .generics
+            .iter()
+            .map(|p| format!("{p}: ::serde::{trait_name}"))
+            .collect();
+        let args = item.generics.join(", ");
+        (
+            format!("<{}>", bounds.join(", ")),
+            format!("{}<{}>", item.name, args),
+        )
+    }
+}
+
+fn emit_serialize(item: &Item) -> String {
+    let (params, self_ty) = impl_header(item, "Serialize");
+    let name = &item.name;
+    let body = match &item.body {
+        Body::Unit => "::serde::Value::Null".to_string(),
+        Body::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Body::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Seq(::std::vec![{}])", items.join(", "))
+        }
+        Body::Named(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Map(::std::vec![{}])", entries.join(", "))
+        }
+        Body::Enum(variants) => {
+            let mut arms = String::new();
+            for variant in variants {
+                let vname = &variant.name;
+                match &variant.body {
+                    VariantBody::Unit => {
+                        let _ = write!(
+                            arms,
+                            "{name}::{vname} => ::serde::Value::Str(::std::string::String::from(\"{vname}\")),"
+                        );
+                    }
+                    VariantBody::Tuple(1) => {
+                        let _ = write!(
+                            arms,
+                            "{name}::{vname}(__f0) => ::serde::Value::Map(::std::vec![(::std::string::String::from(\"{vname}\"), ::serde::Serialize::to_value(__f0))]),"
+                        );
+                    }
+                    VariantBody::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let items: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        let _ = write!(
+                            arms,
+                            "{name}::{vname}({}) => ::serde::Value::Map(::std::vec![(::std::string::String::from(\"{vname}\"), ::serde::Value::Seq(::std::vec![{}]))]),",
+                            binds.join(", "),
+                            items.join(", ")
+                        );
+                    }
+                    VariantBody::Named(fields) => {
+                        let binds = fields.join(", ");
+                        let entries: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_value({f}))"
+                                )
+                            })
+                            .collect();
+                        let _ = write!(
+                            arms,
+                            "{name}::{vname} {{ {binds} }} => ::serde::Value::Map(::std::vec![(::std::string::String::from(\"{vname}\"), ::serde::Value::Map(::std::vec![{}]))]),",
+                            entries.join(", ")
+                        );
+                    }
+                }
+            }
+            format!("match self {{ {arms} }}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl{params} ::serde::Serialize for {self_ty} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn emit_deserialize(item: &Item) -> String {
+    let (params, self_ty) = impl_header(item, "Deserialize");
+    let name = &item.name;
+    let body = match &item.body {
+        Body::Unit => format!(
+            "match __value {{\n\
+                 ::serde::Value::Null => ::std::result::Result::Ok({name}),\n\
+                 _ => ::std::result::Result::Err(::serde::DeError::new(\"expected null for unit struct {name}\")),\n\
+             }}"
+        ),
+        Body::Tuple(1) => format!(
+            "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__value)?))"
+        ),
+        Body::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                .collect();
+            format!(
+                "{{\n\
+                     let __items = ::serde::expect_seq(__value, \"{name}\")?;\n\
+                     if __items.len() != {n}usize {{\n\
+                         return ::std::result::Result::Err(::serde::DeError::new(\"wrong tuple arity for {name}\"));\n\
+                     }}\n\
+                     ::std::result::Result::Ok({name}({}))\n\
+                 }}",
+                items.join(", ")
+            )
+        }
+        Body::Named(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::get_field(__map, \"{f}\", \"{name}\")?"))
+                .collect();
+            format!(
+                "{{\n\
+                     let __map = ::serde::expect_map(__value, \"{name}\")?;\n\
+                     ::std::result::Result::Ok({name} {{ {} }})\n\
+                 }}",
+                inits.join(", ")
+            )
+        }
+        Body::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut payload_arms = String::new();
+            for variant in variants {
+                let vname = &variant.name;
+                match &variant.body {
+                    VariantBody::Unit => {
+                        let _ = write!(
+                            unit_arms,
+                            "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),"
+                        );
+                    }
+                    VariantBody::Tuple(1) => {
+                        let _ = write!(
+                            payload_arms,
+                            "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}(::serde::Deserialize::from_value(__payload)?)),"
+                        );
+                    }
+                    VariantBody::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                            .collect();
+                        let _ = write!(
+                            payload_arms,
+                            "\"{vname}\" => {{\n\
+                                 let __items = ::serde::expect_seq(__payload, \"{name}::{vname}\")?;\n\
+                                 if __items.len() != {n}usize {{\n\
+                                     return ::std::result::Result::Err(::serde::DeError::new(\"wrong tuple arity for {name}::{vname}\"));\n\
+                                 }}\n\
+                                 ::std::result::Result::Ok({name}::{vname}({}))\n\
+                             }}",
+                            items.join(", ")
+                        );
+                    }
+                    VariantBody::Named(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!("{f}: ::serde::get_field(__inner, \"{f}\", \"{name}::{vname}\")?")
+                            })
+                            .collect();
+                        let _ = write!(
+                            payload_arms,
+                            "\"{vname}\" => {{\n\
+                                 let __inner = ::serde::expect_map(__payload, \"{name}::{vname}\")?;\n\
+                                 ::std::result::Result::Ok({name}::{vname} {{ {} }})\n\
+                             }}",
+                            inits.join(", ")
+                        );
+                    }
+                }
+            }
+            format!(
+                "match __value {{\n\
+                     ::serde::Value::Str(__s) => match __s.as_str() {{\n\
+                         {unit_arms}\n\
+                         __other => ::std::result::Result::Err(::serde::DeError::new(\n\
+                             ::std::format!(\"unknown variant `{{}}` for {name}\", __other))),\n\
+                     }},\n\
+                     ::serde::Value::Map(__entries) if __entries.len() == 1usize => {{\n\
+                         let (__key, __payload) = &__entries[0usize];\n\
+                         match __key.as_str() {{\n\
+                             {payload_arms}\n\
+                             __other => ::std::result::Result::Err(::serde::DeError::new(\n\
+                                 ::std::format!(\"unknown variant `{{}}` for {name}\", __other))),\n\
+                         }}\n\
+                     }}\n\
+                     _ => ::std::result::Result::Err(::serde::DeError::new(\"expected string or single-entry map for enum {name}\")),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl{params} ::serde::Deserialize for {self_ty} {{\n\
+             fn from_value(__value: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{ {body} }}\n\
+         }}"
+    )
+}
