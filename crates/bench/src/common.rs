@@ -5,7 +5,7 @@ use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
 use irgrid::anneal::{Annealer, Checkpoint, RunControl, Schedule, StopReason};
-use irgrid::congestion::{CongestionModel, FixedGridModel};
+use irgrid::congestion::{CongestionModel, FixedGridModel, RetainedCongestion};
 use irgrid::floorplanner::{FloorplanEval, FloorplanProblem, Weights};
 use irgrid::geom::Um;
 use irgrid::netlist::Circuit;
@@ -140,7 +140,7 @@ impl Mode {
 }
 
 /// The value following a `--flag`, if present.
-fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+pub fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
     let position = args.iter().position(|a| a == flag)?;
     match args.get(position + 1) {
         Some(value) if !value.starts_with("--") => Some(value),
@@ -156,7 +156,7 @@ fn leak(text: &str) -> &'static str {
 
 /// Prints a usage error and exits (exit code 2, like the unknown-command
 /// path in `main`).
-fn die(message: &str) -> ! {
+pub fn die(message: &str) -> ! {
     eprintln!("{message}");
     std::process::exit(2);
 }
@@ -199,7 +199,7 @@ pub fn run_batch<M>(
     mode: &Mode,
 ) -> Vec<RunOutcome>
 where
-    M: CongestionModel + Clone,
+    M: RetainedCongestion + Clone,
 {
     let judging = FixedGridModel::judging();
     let problem = FloorplanProblem::new(circuit, pitch, weights, model);

@@ -16,7 +16,8 @@
 //!   heatmap     Per-cell spatial agreement vs the judging map (extension)
 //!   sweep       Pitch-sensitivity sweep of the IR model (extension)
 //!   validate    Router-validation correlations (extension)
-//!   all         Everything above
+//!   congestion-perf  Retained-evaluator throughput report (BENCH_congestion.json)
+//!   all         Everything above (except congestion-perf)
 //!
 //! flags:
 //!   --quick           2 seeds, short schedule (smoke run)
@@ -25,6 +26,8 @@
 //!   --time-limit S    stop annealing after S seconds (partial results kept)
 //!   --checkpoint DIR  write per-run checkpoints into DIR every 10 steps
 //!   --resume DIR      resume runs from matching checkpoints in DIR
+//!   --threads N       congestion-perf: benchmark N threads instead of 2 and 4
+//!   --out FILE        congestion-perf: report path (default BENCH_congestion.json)
 //! ```
 
 mod ablation;
@@ -35,6 +38,7 @@ mod figure8;
 mod figure9;
 mod heatmap;
 mod motivation;
+mod perf;
 mod sweep;
 mod validate;
 
@@ -93,6 +97,16 @@ fn main() {
         "ablation" => ablation::run(single),
         "heatmap" => heatmap::run(single),
         "sweep" => sweep::run(single),
+        "congestion-perf" => {
+            // Perf runs default to the largest circuit unless one was
+            // picked explicitly with --circuit.
+            let perf_circuit = circuits
+                .first()
+                .copied()
+                .filter(|_| circuits.len() == 1)
+                .unwrap_or(McncCircuit::Ami49);
+            perf::run(&mode, perf_circuit, &args);
+        }
         "validate" => {
             let n = if args.iter().any(|a| a == "--quick") {
                 6

@@ -156,6 +156,14 @@ impl CongestionModel for FixedGridModel {
     }
 }
 
+impl crate::RetainedCongestion for FixedGridModel {
+    type Session = crate::StatelessSession<FixedGridModel>;
+
+    fn session(&self) -> Self::Session {
+        crate::StatelessSession::new(*self)
+    }
+}
+
 /// The per-grid congestion values produced by [`FixedGridModel`].
 #[derive(Debug, Clone)]
 pub struct FixedCongestionMap {

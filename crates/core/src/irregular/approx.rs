@@ -122,49 +122,96 @@ pub fn block_probability_approx(
 /// to ±8·σ_eff and scaling the Simpson interval count to the clipped
 /// width (capped at 24) keeps evaluation O(1) while resolving the peak.
 fn exit_integral(g1: i64, g2: i64, y2: i64, a: f64, b: f64, base_intervals: usize) -> f64 {
-    let (g1f, g2f) = (g1 as f64, g2 as f64);
-    let r = g1f + g2f - 3.0;
-    let denom_var = g1f + g2f - 4.0;
-    if r <= 0.0 || denom_var <= 0.0 {
-        return 0.0;
-    }
-    let y2f = y2 as f64;
-    // The integrand is zero outside 0 < q < 1, i.e. -y2 < x < r - y2.
-    let mut lo = a.max(-y2f);
-    let mut hi = b.min(r - y2f);
-    if lo >= hi {
-        return 0.0;
-    }
-    let mut sigma_eff = f64::INFINITY;
-    let denom_peak = g2f - 2.0;
-    if denom_peak > 0.0 {
-        let center = (g1f - 1.0) * y2f / denom_peak;
-        let q = (center + y2f) / r;
-        if q > 0.0 && q < 1.0 {
-            let var = (denom_peak / denom_var) * (g1f - 1.0) * q * (1.0 - q);
-            if var > 0.0 {
-                sigma_eff = var.sqrt() * r / denom_peak;
-                let w = 8.0 * sigma_eff + 1.0;
-                lo = lo.max(center - w);
-                hi = hi.min(center + w);
-                if lo >= hi {
-                    return 0.0;
+    ExitProfile::new(g1, g2, y2).integral(a, b, base_intervals)
+}
+
+/// The per-`(g1, g2, y2)` setup of [`exit_integral`] — support clipping,
+/// peak localization, and the effective width — hoisted out so a retained
+/// evaluator can sweep one row (or column) of IR-grids with a single
+/// setup. `integral` reproduces `exit_integral` bit for bit: the same
+/// intermediate values are computed in the same order.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ExitProfile {
+    g1: i64,
+    g2: i64,
+    y2: i64,
+    y2f: f64,
+    r: f64,
+    /// `(center - w, center + w)` when the peak is localizable.
+    window: Option<(f64, f64)>,
+    sigma_eff: f64,
+    /// False when the integrand is identically zero (`r <= 0` or the
+    /// variance denominator vanishes).
+    live: bool,
+}
+
+impl ExitProfile {
+    pub(crate) fn new(g1: i64, g2: i64, y2: i64) -> ExitProfile {
+        let (g1f, g2f) = (g1 as f64, g2 as f64);
+        let r = g1f + g2f - 3.0;
+        let denom_var = g1f + g2f - 4.0;
+        let y2f = y2 as f64;
+        let mut profile = ExitProfile {
+            g1,
+            g2,
+            y2,
+            y2f,
+            r,
+            window: None,
+            sigma_eff: f64::INFINITY,
+            live: r > 0.0 && denom_var > 0.0,
+        };
+        if !profile.live {
+            return profile;
+        }
+        let denom_peak = g2f - 2.0;
+        if denom_peak > 0.0 {
+            let center = (g1f - 1.0) * y2f / denom_peak;
+            let q = (center + y2f) / r;
+            if q > 0.0 && q < 1.0 {
+                let var = (denom_peak / denom_var) * (g1f - 1.0) * q * (1.0 - q);
+                if var > 0.0 {
+                    profile.sigma_eff = var.sqrt() * r / denom_peak;
+                    let w = 8.0 * profile.sigma_eff + 1.0;
+                    profile.window = Some((center - w, center + w));
                 }
             }
         }
+        profile
     }
-    let width = hi - lo;
-    // Enough intervals to sample the peak at ~2 points per σ_eff, capped
-    // to keep the evaluation constant-time.
-    let resolution = if sigma_eff.is_finite() {
-        (2.0 * width / sigma_eff).ceil() as usize
-    } else {
-        width.ceil() as usize
-    };
-    // The cap keeps evaluation O(1); an explicitly larger configured
-    // base still wins so callers can buy accuracy.
-    let intervals = resolution.clamp(2, 24).max(base_intervals);
-    simpson(lo, hi, intervals, |x| top_exit_integrand(g1, g2, y2, x))
+
+    pub(crate) fn integral(&self, a: f64, b: f64, base_intervals: usize) -> f64 {
+        if !self.live {
+            return 0.0;
+        }
+        // The integrand is zero outside 0 < q < 1, i.e. -y2 < x < r - y2.
+        let mut lo = a.max(-self.y2f);
+        let mut hi = b.min(self.r - self.y2f);
+        if lo >= hi {
+            return 0.0;
+        }
+        if let Some((window_lo, window_hi)) = self.window {
+            lo = lo.max(window_lo);
+            hi = hi.min(window_hi);
+            if lo >= hi {
+                return 0.0;
+            }
+        }
+        let width = hi - lo;
+        // Enough intervals to sample the peak at ~2 points per σ_eff,
+        // capped to keep the evaluation constant-time.
+        let resolution = if self.sigma_eff.is_finite() {
+            (2.0 * width / self.sigma_eff).ceil() as usize
+        } else {
+            width.ceil() as usize
+        };
+        // The cap keeps evaluation O(1); an explicitly larger configured
+        // base still wins so callers can buy accuracy.
+        let intervals = resolution.clamp(2, 24).max(base_intervals);
+        simpson(lo, hi, intervals, |x| {
+            top_exit_integrand(self.g1, self.g2, self.y2, x)
+        })
+    }
 }
 
 /// The §4.4 integrand for top-row exits of a type I net: the

@@ -22,23 +22,37 @@
 /// The result always starts at 0 and ends at `boundary`, with consecutive
 /// cuts at least `min_gap` apart (except possibly the final interval,
 /// which is kept at least 1 wide).
+#[cfg(test)] // production paths use the in-place variant below
 pub(crate) fn merged_cuts(
     boundary: i64,
     raw_cuts: impl IntoIterator<Item = i64>,
     min_gap: i64,
 ) -> Vec<i64> {
+    let mut scratch: Vec<i64> = raw_cuts.into_iter().collect();
+    let mut kept = Vec::new();
+    merged_cuts_into(boundary, &mut scratch, min_gap, &mut kept);
+    kept
+}
+
+/// In-place variant of [`merged_cuts`] for retained evaluators: `scratch`
+/// holds the raw cut positions (consumed: sorted and filtered in place)
+/// and `kept` receives the merged result, both reusing their existing
+/// capacity so the steady state allocates nothing.
+pub(crate) fn merged_cuts_into(
+    boundary: i64,
+    scratch: &mut Vec<i64>,
+    min_gap: i64,
+    kept: &mut Vec<i64>,
+) {
     debug_assert!(boundary >= 1, "grid must have at least one cell");
     debug_assert!(min_gap >= 1, "merge threshold must be at least one cell");
-    let mut cuts: Vec<i64> = raw_cuts
-        .into_iter()
-        .filter(|&c| c > 0 && c < boundary)
-        .collect();
-    cuts.sort_unstable();
-    cuts.dedup();
+    scratch.retain(|&c| c > 0 && c < boundary);
+    scratch.sort_unstable();
+    scratch.dedup();
 
-    let mut kept = Vec::with_capacity(cuts.len() + 2);
+    kept.clear();
     kept.push(0);
-    for c in cuts {
+    for &c in scratch.iter() {
         if c - kept.last().expect("kept starts non-empty") >= min_gap {
             kept.push(c);
         }
@@ -48,7 +62,6 @@ pub(crate) fn merged_cuts(
         kept.pop();
     }
     kept.push(boundary);
-    kept
 }
 
 /// Locates the nearest cut to `pos`, returning its index (ties go to the

@@ -1,0 +1,642 @@
+//! The retained Irregular-Grid evaluation engine.
+//!
+//! [`IrregularGridModel::congestion_map`] is a one-shot API: every call
+//! allocates the range list, both cut vectors, and the totals grid, and
+//! rebuilds the `ln(i!)` table from scratch. Inside a simulated-annealing
+//! loop that happens on *every move*. [`CongestionEvaluator`] keeps all of
+//! that state alive between evaluations:
+//!
+//! * every per-call vector is reusable scratch (steady-state evaluation
+//!   performs no heap allocation);
+//! * the [`LnFactorials`] table only ever grows ([`LnFactorials::ensure_up_to`]);
+//! * the Theorem-1 setup (support clipping, peak localization) is hoisted
+//!   to one [`ExitProfile`] per IR row / column of each snapped range — the
+//!   per-range marginal cache — instead of being recomputed per IR cell;
+//! * the per-range fan-out optionally runs on `std::thread::scope` threads.
+//!
+//! # Threading and determinism
+//!
+//! Summing floats is not associative, so merging per-thread partial maps
+//! would change the result with the thread count. Instead each thread
+//! *owns a contiguous band of IR rows*: every thread walks the full range
+//! list (range setup is cheap; scoring dominates) but scores and
+//! accumulates only the cells inside its band. Each cell is therefore
+//! written by exactly one thread, in range order — the same additions in
+//! the same order as the serial sweep — making the map **bit-identical**
+//! for every thread count (property-tested in `tests/properties.rs`).
+
+use std::ops::Range;
+
+use irgrid_geom::{Point, Rect};
+
+use crate::num::LnFactorials;
+use crate::routing::{NetType, RoutingRange};
+use crate::score::top_area_fraction_mean_in_place;
+use crate::UnitGrid;
+
+use super::approx::ExitProfile;
+use super::cutlines::{merged_cuts_into, snap_span};
+use super::exact::block_probability_exact;
+use super::{Evaluator, IrCongestionMap, IrregularGridModel};
+
+/// Per-thread scratch: the staged per-cell probabilities of the range
+/// currently being accumulated (the marginal sweeps write the two exit
+/// terms of a cell in separate passes, and the clamp couples them).
+#[derive(Debug, Default)]
+struct BandScratch {
+    block: Vec<f64>,
+}
+
+/// A retained congestion-evaluation session for [`IrregularGridModel`].
+///
+/// Create one per annealing run (or any evaluation loop) and call
+/// [`evaluate`](CongestionEvaluator::evaluate) per floorplan; results are
+/// bit-identical to the one-shot [`IrregularGridModel::congestion_map`]
+/// pipeline, which itself delegates here with a transient session.
+///
+/// # Examples
+///
+/// ```
+/// use irgrid_core::{CongestionEvaluator, CongestionModel, IrregularGridModel};
+/// use irgrid_geom::{Point, Rect, Um};
+///
+/// let chip = Rect::from_origin_size(Point::ORIGIN, Um(600), Um(600));
+/// let segments = vec![(Point::new(Um(90), Um(90)), Point::new(Um(510), Um(510)))];
+/// let model = IrregularGridModel::new(Um(30));
+/// let mut session = CongestionEvaluator::new(model);
+/// let retained = session.evaluate(&chip, &segments);
+/// assert_eq!(retained, model.evaluate(&chip, &segments));
+/// ```
+#[derive(Debug)]
+pub struct CongestionEvaluator {
+    model: IrregularGridModel,
+    lf: LnFactorials,
+    ranges: Vec<RoutingRange>,
+    raw_cuts: Vec<i64>,
+    x_cuts: Vec<i64>,
+    y_cuts: Vec<i64>,
+    totals: Vec<f64>,
+    pairs: Vec<(f64, f64)>,
+    bands: Vec<BandScratch>,
+}
+
+impl CongestionEvaluator {
+    /// Creates an evaluator for `model`. Scratch buffers start empty and
+    /// grow to the working-set size over the first evaluations.
+    #[must_use]
+    pub fn new(model: IrregularGridModel) -> CongestionEvaluator {
+        CongestionEvaluator {
+            model,
+            lf: LnFactorials::up_to(0),
+            ranges: Vec::new(),
+            raw_cuts: Vec::new(),
+            x_cuts: Vec::new(),
+            y_cuts: Vec::new(),
+            totals: Vec::new(),
+            pairs: Vec::new(),
+            bands: Vec::new(),
+        }
+    }
+
+    /// The model this evaluator was built from.
+    #[must_use]
+    pub fn model(&self) -> &IrregularGridModel {
+        &self.model
+    }
+
+    /// Scores a floorplan — [`IrregularGridModel::evaluate`] without the
+    /// per-call allocations (and without materializing the map).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chip` is degenerate or not at the origin.
+    pub fn evaluate(&mut self, chip: &Rect, segments: &[(Point, Point)]) -> f64 {
+        self.refresh(chip, segments);
+        self.cost_from_scratch()
+    }
+
+    /// Computes the congestion map — [`IrregularGridModel::congestion_map`]
+    /// reusing this session's scratch (the returned map owns fresh copies).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chip` is degenerate or not at the origin.
+    #[must_use]
+    pub fn congestion_map(&mut self, chip: &Rect, segments: &[(Point, Point)]) -> IrCongestionMap {
+        self.refresh(chip, segments);
+        IrCongestionMap {
+            pitch: self.model.pitch,
+            x_cuts: self.x_cuts.clone(),
+            y_cuts: self.y_cuts.clone(),
+            totals: self.totals.clone(),
+            top_fraction: self.model.top_fraction_permille as f64 / 1000.0,
+        }
+    }
+
+    /// Recomputes cuts and totals into the scratch buffers.
+    fn refresh(&mut self, chip: &Rect, segments: &[(Point, Point)]) {
+        let grid = UnitGrid::new(chip, self.model.pitch);
+        self.ranges.clear();
+        self.ranges.extend(
+            segments
+                .iter()
+                .map(|&(a, b)| RoutingRange::from_segment(&grid, a, b)),
+        );
+
+        // Step 1–2: cutting lines from routing-range boundaries, merged.
+        let min_gap = if self.model.merge_lines { 2 } else { 1 };
+        self.raw_cuts.clear();
+        for range in &self.ranges {
+            self.raw_cuts.push(range.x0());
+            self.raw_cuts.push(range.x0() + range.g1());
+        }
+        merged_cuts_into(grid.cols(), &mut self.raw_cuts, min_gap, &mut self.x_cuts);
+        self.raw_cuts.clear();
+        for range in &self.ranges {
+            self.raw_cuts.push(range.y0());
+            self.raw_cuts.push(range.y0() + range.g2());
+        }
+        merged_cuts_into(grid.rows(), &mut self.raw_cuts, min_gap, &mut self.y_cuts);
+
+        let ir_cols = self.x_cuts.len() - 1;
+        let ir_rows = self.y_cuts.len() - 1;
+        self.totals.clear();
+        self.totals.resize(ir_cols * ir_rows, 0.0);
+
+        self.lf
+            .ensure_up_to((grid.cols() + grid.rows() + 2) as usize);
+
+        let threads = self.model.threads.clamp(1, ir_rows);
+        if self.bands.len() < threads {
+            self.bands.resize_with(threads, BandScratch::default);
+        }
+
+        let model = self.model;
+        let ranges = &self.ranges;
+        let x_cuts = &self.x_cuts[..];
+        let y_cuts = &self.y_cuts[..];
+        let lf = &self.lf;
+        if threads == 1 {
+            accumulate_band(
+                &model,
+                ranges,
+                x_cuts,
+                y_cuts,
+                lf,
+                0..ir_rows,
+                &mut self.totals,
+                &mut self.bands[0],
+            );
+        } else {
+            // Step 3, parallel: each thread owns a contiguous band of IR
+            // rows and walks all ranges, so every cell receives the same
+            // additions in the same order as the serial sweep.
+            std::thread::scope(|scope| {
+                let mut remaining: &mut [f64] = &mut self.totals;
+                let mut row_start = 0usize;
+                for (t, scratch) in self.bands[..threads].iter_mut().enumerate() {
+                    let band_rows = ir_rows / threads + usize::from(t < ir_rows % threads);
+                    let taken = std::mem::take(&mut remaining);
+                    let (slice, tail) = taken.split_at_mut(band_rows * ir_cols);
+                    remaining = tail;
+                    let rows = row_start..row_start + band_rows;
+                    row_start += band_rows;
+                    scope.spawn(move || {
+                        accumulate_band(&model, ranges, x_cuts, y_cuts, lf, rows, slice, scratch);
+                    });
+                }
+            });
+        }
+    }
+
+    /// The cost of the freshly refreshed map, computed from scratch
+    /// buffers — identical arithmetic to [`IrCongestionMap::cost`].
+    fn cost_from_scratch(&mut self) -> f64 {
+        let ir_cols = self.x_cuts.len() - 1;
+        let ir_rows = self.y_cuts.len() - 1;
+        self.pairs.clear();
+        for j in 0..ir_rows {
+            for i in 0..ir_cols {
+                let area = ((self.x_cuts[i + 1] - self.x_cuts[i])
+                    * (self.y_cuts[j + 1] - self.y_cuts[j])) as f64;
+                self.pairs.push((self.totals[j * ir_cols + i] / area, area));
+            }
+        }
+        top_area_fraction_mean_in_place(
+            &mut self.pairs,
+            self.model.top_fraction_permille as f64 / 1000.0,
+        )
+    }
+}
+
+impl crate::CongestionSession for CongestionEvaluator {
+    fn evaluate(&mut self, chip: &Rect, segments: &[(Point, Point)]) -> f64 {
+        CongestionEvaluator::evaluate(self, chip, segments)
+    }
+}
+
+/// Accumulates every range into one thread's band of `totals` (the rows
+/// `rows`, as a row-major slice starting at `rows.start`).
+#[allow(clippy::too_many_arguments)]
+fn accumulate_band(
+    model: &IrregularGridModel,
+    ranges: &[RoutingRange],
+    x_cuts: &[i64],
+    y_cuts: &[i64],
+    lf: &LnFactorials,
+    rows: Range<usize>,
+    totals: &mut [f64],
+    scratch: &mut BandScratch,
+) {
+    for range in ranges {
+        accumulate_range(model, range, x_cuts, y_cuts, lf, &rows, totals, scratch);
+    }
+}
+
+/// Mirrors a cell's row interval for type II ranges (type II route
+/// ensembles are the vertical mirror of type I — same mapping as
+/// `block_probability_approx`).
+fn mirrored(net_type: NetType, g2: i64, y1: i64, y2: i64) -> (i64, i64) {
+    match net_type {
+        NetType::TypeI => (y1, y2),
+        NetType::TypeII => (g2 - 1 - y2, g2 - 1 - y1),
+    }
+}
+
+/// The IR interval containing unit-cell position `pos`:
+/// `cuts[i] <= pos < cuts[i + 1]`.
+fn interval_index(cuts: &[i64], pos: i64) -> usize {
+    cuts.partition_point(|&c| c <= pos) - 1
+}
+
+#[allow(clippy::too_many_arguments)]
+fn accumulate_range(
+    model: &IrregularGridModel,
+    range: &RoutingRange,
+    x_cuts: &[i64],
+    y_cuts: &[i64],
+    lf: &LnFactorials,
+    rows: &Range<usize>,
+    totals: &mut [f64],
+    scratch: &mut BandScratch,
+) {
+    let ir_cols = x_cuts.len() - 1;
+
+    // Corridors (single row or column of unit cells): every route
+    // crosses every cell, so every intersecting IR-grid gets 1.
+    if range.g1() == 1 || range.g2() == 1 {
+        let (ix1, ix2) = snap_span(x_cuts, range.x0(), range.x0() + range.g1());
+        let (iy1, iy2) = snap_span(y_cuts, range.y0(), range.y0() + range.g2());
+        for jy in iy1.max(rows.start)..iy2.min(rows.end) {
+            let base = (jy - rows.start) * ir_cols;
+            for jx in ix1..ix2 {
+                totals[base + jx] += 1.0;
+            }
+        }
+        return;
+    }
+
+    // Step 2 (cont.): snap the routing range to surviving cut lines.
+    let (ix1, ix2) = snap_span(x_cuts, range.x0(), range.x0() + range.g1());
+    let (iy1, iy2) = snap_span(y_cuts, range.y0(), range.y0() + range.g2());
+    let lo = iy1.max(rows.start);
+    let hi = iy2.min(rows.end);
+    if lo >= hi {
+        return;
+    }
+    let x0 = x_cuts[ix1];
+    let y0 = y_cuts[iy1];
+    let g1 = x_cuts[ix2] - x0;
+    let g2 = y_cuts[iy2] - y0;
+    let snapped = RoutingRange::from_cells(x0, y0, g1, g2, range.net_type());
+
+    // Step 3.1: both pins lie inside the snapped span; map each to its IR
+    // cell once per range instead of scanning the pin list per cell.
+    let pins = snapped.pin_cells().map(|(px, py)| {
+        (
+            interval_index(x_cuts, x0 + px),
+            interval_index(y_cuts, y0 + py),
+        )
+    });
+    let is_pin = |jx: usize, jy: usize| pins.contains(&(jx, jy));
+
+    let use_exact = model.evaluator == Evaluator::Exact || g1 + g2 <= model.exact_threshold;
+    if use_exact {
+        for jy in lo..hi {
+            let y1 = y_cuts[jy] - y0;
+            let y2 = y_cuts[jy + 1] - 1 - y0;
+            let base = (jy - rows.start) * ir_cols;
+            for jx in ix1..ix2 {
+                let x1 = x_cuts[jx] - x0;
+                let x2 = x_cuts[jx + 1] - 1 - x0;
+                let p = if is_pin(jx, jy) {
+                    1.0
+                } else {
+                    block_probability_exact(&snapped, lf, x1, x2, y1, y2)
+                };
+                totals[base + jx] += p;
+            }
+        }
+        return;
+    }
+
+    // Theorem 1 with the per-range marginal cache: the top-exit term of a
+    // cell depends on its row (through the mirrored y2) and the right-exit
+    // term on its column (through x2), so one ExitProfile per row/column
+    // covers the whole range. The two passes stage into `scratch.block`
+    // because the final clamp couples the two terms per cell.
+    let cols = ix2 - ix1;
+    scratch.block.clear();
+    scratch.block.resize(cols * (hi - lo), 0.0);
+    let correction = if model.approx.continuity_correction {
+        0.5
+    } else {
+        0.0
+    };
+    let base_intervals = model.approx.simpson_intervals;
+
+    // Row sweep: exits upward through each row's top edge.
+    for jy in lo..hi {
+        let y1 = y_cuts[jy] - y0;
+        let y2 = y_cuts[jy + 1] - 1 - y0;
+        let (_, my2) = mirrored(snapped.net_type(), g2, y1, y2);
+        if my2 >= g2 - 1 {
+            continue; // touches the top boundary: no routes leave upward
+        }
+        let profile = ExitProfile::new(g1, g2, my2);
+        let row = (jy - lo) * cols;
+        for jx in ix1..ix2 {
+            let x1 = x_cuts[jx] - x0;
+            let x2 = x_cuts[jx + 1] - 1 - x0;
+            scratch.block[row + (jx - ix1)] = profile.integral(
+                x1 as f64 - correction,
+                x2 as f64 + correction,
+                base_intervals,
+            );
+        }
+    }
+    // Column sweep: exits rightward through each column's right edge.
+    for jx in ix1..ix2 {
+        let x2 = x_cuts[jx + 1] - 1 - x0;
+        if x2 >= g1 - 1 {
+            continue; // touches the right boundary
+        }
+        let profile = ExitProfile::new(g2, g1, x2);
+        let col = jx - ix1;
+        for jy in lo..hi {
+            let y1 = y_cuts[jy] - y0;
+            let y2 = y_cuts[jy + 1] - 1 - y0;
+            let (my1, my2) = mirrored(snapped.net_type(), g2, y1, y2);
+            scratch.block[(jy - lo) * cols + col] += profile.integral(
+                my1 as f64 - correction,
+                my2 as f64 + correction,
+                base_intervals,
+            );
+        }
+    }
+    // Commit: pin override, clamp, accumulate — the same per-cell values
+    // and addition order as per-cell `block_probability_approx` calls.
+    for jy in lo..hi {
+        let base = (jy - rows.start) * ir_cols;
+        let row = (jy - lo) * cols;
+        for jx in ix1..ix2 {
+            let p = if is_pin(jx, jy) {
+                1.0
+            } else {
+                scratch.block[row + (jx - ix1)].clamp(0.0, 1.0)
+            };
+            totals[base + jx] += p;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::irregular::approx::block_probability_approx;
+    use crate::irregular::cutlines::merged_cuts;
+    use crate::CongestionModel;
+    use irgrid_geom::Um;
+
+    fn chip(w: i64, h: i64) -> Rect {
+        Rect::from_origin_size(Point::ORIGIN, Um(w), Um(h))
+    }
+
+    fn pt(x: i64, y: i64) -> Point {
+        Point::new(Um(x), Um(y))
+    }
+
+    fn crossing_segments() -> Vec<(Point, Point)> {
+        vec![
+            (pt(30, 30), pt(840, 600)),
+            (pt(60, 750), pt(780, 90)),  // type II
+            (pt(240, 30), pt(300, 870)), // near-vertical
+            (pt(15, 450), pt(885, 450)), // corridor
+            (pt(90, 90), pt(150, 150)),  // small: exact-threshold path
+        ]
+    }
+
+    /// The pre-cache reference: the one-shot pipeline with per-cell
+    /// `block_probability_approx` / `block_probability_exact` calls and
+    /// the per-cell pin scan, exactly as `accumulate` was originally
+    /// written.
+    fn reference_totals(
+        model: &IrregularGridModel,
+        chip: &Rect,
+        segments: &[(Point, Point)],
+    ) -> (Vec<i64>, Vec<i64>, Vec<f64>) {
+        let grid = UnitGrid::new(chip, model.pitch);
+        let ranges: Vec<RoutingRange> = segments
+            .iter()
+            .map(|&(a, b)| RoutingRange::from_segment(&grid, a, b))
+            .collect();
+        let min_gap = if model.merge_lines { 2 } else { 1 };
+        let x_cuts = merged_cuts(
+            grid.cols(),
+            ranges.iter().flat_map(|r| [r.x0(), r.x0() + r.g1()]),
+            min_gap,
+        );
+        let y_cuts = merged_cuts(
+            grid.rows(),
+            ranges.iter().flat_map(|r| [r.y0(), r.y0() + r.g2()]),
+            min_gap,
+        );
+        let ir_cols = x_cuts.len() - 1;
+        let mut totals = vec![0.0f64; ir_cols * (y_cuts.len() - 1)];
+        let lf = LnFactorials::up_to((grid.cols() + grid.rows() + 2) as usize);
+        for range in &ranges {
+            if range.g1() == 1 || range.g2() == 1 {
+                let (ix1, ix2) = snap_span(&x_cuts, range.x0(), range.x0() + range.g1());
+                let (iy1, iy2) = snap_span(&y_cuts, range.y0(), range.y0() + range.g2());
+                for jy in iy1..iy2 {
+                    for jx in ix1..ix2 {
+                        totals[jy * ir_cols + jx] += 1.0;
+                    }
+                }
+                continue;
+            }
+            let (ix1, ix2) = snap_span(&x_cuts, range.x0(), range.x0() + range.g1());
+            let (iy1, iy2) = snap_span(&y_cuts, range.y0(), range.y0() + range.g2());
+            let x0 = x_cuts[ix1];
+            let y0 = y_cuts[iy1];
+            let g1 = x_cuts[ix2] - x0;
+            let g2 = y_cuts[iy2] - y0;
+            let snapped = RoutingRange::from_cells(x0, y0, g1, g2, range.net_type());
+            let use_exact = model.evaluator == Evaluator::Exact || g1 + g2 <= model.exact_threshold;
+            for jy in iy1..iy2 {
+                let y1 = y_cuts[jy] - y0;
+                let y2 = y_cuts[jy + 1] - 1 - y0;
+                for jx in ix1..ix2 {
+                    let x1 = x_cuts[jx] - x0;
+                    let x2 = x_cuts[jx + 1] - 1 - x0;
+                    let p = if snapped
+                        .pin_cells()
+                        .iter()
+                        .any(|&(px, py)| (x1..=x2).contains(&px) && (y1..=y2).contains(&py))
+                    {
+                        1.0
+                    } else if use_exact {
+                        block_probability_exact(&snapped, &lf, x1, x2, y1, y2)
+                    } else {
+                        block_probability_approx(&snapped, x1, x2, y1, y2, &model.approx)
+                    };
+                    totals[jy * ir_cols + jx] += p;
+                }
+            }
+        }
+        (x_cuts, y_cuts, totals)
+    }
+
+    #[test]
+    fn marginal_cache_matches_uncached_approx() {
+        // The ISSUE's regression bound is 1e-12; the sweeps reproduce the
+        // per-cell arithmetic exactly, so assert bitwise equality.
+        let model = IrregularGridModel::new(Um(30));
+        let segments = crossing_segments();
+        let (x_cuts, y_cuts, expected) = reference_totals(&model, &chip(900, 900), &segments);
+        let map = model.congestion_map(&chip(900, 900), &segments);
+        assert_eq!(map.x_cuts(), &x_cuts[..]);
+        assert_eq!(map.y_cuts(), &y_cuts[..]);
+        for j in 0..map.ir_rows() {
+            for i in 0..map.ir_cols() {
+                let got = map.total(i, j);
+                let want = expected[j * map.ir_cols() + i];
+                assert!(
+                    (got - want).abs() <= 1e-12,
+                    "cell ({i},{j}): cached {got} vs per-cell {want}"
+                );
+                assert_eq!(
+                    got.to_bits(),
+                    want.to_bits(),
+                    "cell ({i},{j}) not bitwise equal"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn exact_evaluator_path_matches_reference() {
+        let model = IrregularGridModel::new(Um(30)).with_evaluator(Evaluator::Exact);
+        let segments = crossing_segments();
+        let (_, _, expected) = reference_totals(&model, &chip(900, 900), &segments);
+        let map = model.congestion_map(&chip(900, 900), &segments);
+        for j in 0..map.ir_rows() {
+            for i in 0..map.ir_cols() {
+                assert_eq!(
+                    map.total(i, j).to_bits(),
+                    expected[j * map.ir_cols() + i].to_bits(),
+                    "cell ({i},{j})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unmerged_lines_path_matches_reference() {
+        let model = IrregularGridModel::new(Um(30)).without_line_merging();
+        let segments = crossing_segments();
+        let (_, _, expected) = reference_totals(&model, &chip(900, 900), &segments);
+        let map = model.congestion_map(&chip(900, 900), &segments);
+        for (k, want) in expected.iter().enumerate() {
+            let (i, j) = (k % map.ir_cols(), k / map.ir_cols());
+            assert_eq!(map.total(i, j).to_bits(), want.to_bits(), "cell ({i},{j})");
+        }
+    }
+
+    #[test]
+    fn session_reuse_is_deterministic() {
+        // Interleave differently sized floorplans through one session:
+        // scratch reuse must not leak state between evaluations.
+        let model = IrregularGridModel::new(Um(30));
+        let mut session = CongestionEvaluator::new(model);
+        let small = (chip(300, 300), vec![(pt(30, 30), pt(270, 240))]);
+        let large = (chip(900, 900), crossing_segments());
+        let small_fresh = model.evaluate(&small.0, &small.1);
+        let large_fresh = model.evaluate(&large.0, &large.1);
+        for _ in 0..3 {
+            assert_eq!(
+                session.evaluate(&large.0, &large.1).to_bits(),
+                large_fresh.to_bits()
+            );
+            assert_eq!(
+                session.evaluate(&small.0, &small.1).to_bits(),
+                small_fresh.to_bits()
+            );
+        }
+        // Empty floorplans through a warm session.
+        assert_eq!(session.evaluate(&chip(300, 300), &[]), 0.0);
+    }
+
+    #[test]
+    fn session_map_matches_model_map() {
+        let model = IrregularGridModel::new(Um(30)).with_threads(3);
+        let segments = crossing_segments();
+        let mut session = CongestionEvaluator::new(model);
+        let warmup = session.congestion_map(&chip(900, 900), &segments);
+        let again = session.congestion_map(&chip(900, 900), &segments);
+        let oneshot = model.congestion_map(&chip(900, 900), &segments);
+        for map in [&warmup, &again] {
+            assert_eq!(map.x_cuts(), oneshot.x_cuts());
+            assert_eq!(map.y_cuts(), oneshot.y_cuts());
+            for j in 0..map.ir_rows() {
+                for i in 0..map.ir_cols() {
+                    assert_eq!(map.total(i, j).to_bits(), oneshot.total(i, j).to_bits());
+                }
+            }
+        }
+        assert_eq!(session.evaluate(&chip(900, 900), &segments), oneshot.cost());
+    }
+
+    #[test]
+    fn thread_bands_are_bit_identical_to_serial() {
+        // The proptest in tests/properties.rs covers generated circuits;
+        // this pins the corridor + type II + exact-threshold mix and
+        // thread counts beyond the row count.
+        let segments = crossing_segments();
+        let serial = IrregularGridModel::new(Um(30)).congestion_map(&chip(900, 900), &segments);
+        for threads in [2, 3, 4, 8, 64] {
+            let par = IrregularGridModel::new(Um(30))
+                .with_threads(threads)
+                .congestion_map(&chip(900, 900), &segments);
+            assert_eq!(par.x_cuts(), serial.x_cuts());
+            for j in 0..serial.ir_rows() {
+                for i in 0..serial.ir_cols() {
+                    assert_eq!(
+                        par.total(i, j).to_bits(),
+                        serial.total(i, j).to_bits(),
+                        "threads {threads}, cell ({i},{j})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pin_index_mapping() {
+        let cuts = [0i64, 4, 9, 15];
+        assert_eq!(interval_index(&cuts, 0), 0);
+        assert_eq!(interval_index(&cuts, 3), 0);
+        assert_eq!(interval_index(&cuts, 4), 1);
+        assert_eq!(interval_index(&cuts, 14), 2);
+    }
+}

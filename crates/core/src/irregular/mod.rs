@@ -9,19 +9,17 @@
 
 mod approx;
 mod cutlines;
+mod evaluator;
 mod exact;
 
 pub use approx::{block_probability_approx, function1_approx, function1_exact, ApproxConfig};
+pub use evaluator::CongestionEvaluator;
 pub use exact::block_probability_exact;
 
 use irgrid_geom::{Point, Rect, Um};
 
-use crate::num::LnFactorials;
-use crate::routing::RoutingRange;
 use crate::score::top_area_fraction_mean;
-use crate::{CongestionModel, UnitGrid};
-
-use cutlines::{merged_cuts, snap_span};
+use crate::CongestionModel;
 
 /// Which evaluator scores a (non-pin, non-corridor) IR-grid.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -63,6 +61,9 @@ pub struct IrregularGridModel {
     /// and only pays off on larger ranges anyway.
     exact_threshold: i64,
     top_fraction_permille: u32,
+    /// Worker threads for the per-range accumulation fan-out (1 = serial,
+    /// no threads spawned). Any count produces a bit-identical map.
+    threads: usize,
 }
 
 impl IrregularGridModel {
@@ -82,7 +83,26 @@ impl IrregularGridModel {
             merge_lines: true,
             exact_threshold: 10,
             top_fraction_permille: 100,
+            threads: 1,
         }
+    }
+
+    /// Sets the worker-thread count for map accumulation (clamped to at
+    /// least 1; 1 evaluates serially without spawning).
+    ///
+    /// Each thread owns a contiguous band of IR rows and walks the full
+    /// range list, so every cell is written by exactly one thread in
+    /// range order: the map is **bit-identical** for every thread count.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> IrregularGridModel {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// The configured accumulation thread count.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads
     }
 
     /// Switches the per-IR-grid evaluator (ablation).
@@ -130,116 +150,35 @@ impl IrregularGridModel {
 
     /// Computes the Irregular-Grid congestion map of a floorplan.
     ///
+    /// One-shot convenience over [`CongestionEvaluator`]: a transient
+    /// session is created per call. Loops should retain a session instead
+    /// ([`crate::RetainedCongestion::session`]) so the scratch state
+    /// amortizes.
+    ///
     /// # Panics
     ///
     /// Panics if `chip` is degenerate or not at the origin.
     #[must_use]
     pub fn congestion_map(&self, chip: &Rect, segments: &[(Point, Point)]) -> IrCongestionMap {
-        let grid = UnitGrid::new(chip, self.pitch);
-        let ranges: Vec<RoutingRange> = segments
-            .iter()
-            .map(|&(a, b)| RoutingRange::from_segment(&grid, a, b))
-            .collect();
-
-        // Step 1–2: cutting lines from routing-range boundaries, merged.
-        let min_gap = if self.merge_lines { 2 } else { 1 };
-        let x_cuts = merged_cuts(
-            grid.cols(),
-            ranges.iter().flat_map(|r| [r.x0(), r.x0() + r.g1()]),
-            min_gap,
-        );
-        let y_cuts = merged_cuts(
-            grid.rows(),
-            ranges.iter().flat_map(|r| [r.y0(), r.y0() + r.g2()]),
-            min_gap,
-        );
-
-        let ir_cols = x_cuts.len() - 1;
-        let ir_rows = y_cuts.len() - 1;
-        let mut totals = vec![0.0f64; ir_cols * ir_rows];
-
-        let max_arg = (grid.cols() + grid.rows() + 2) as usize;
-        let lf = LnFactorials::up_to(max_arg);
-
-        // Step 3: per net, score every IR-grid in its (snapped) range.
-        for range in &ranges {
-            self.accumulate(range, &x_cuts, &y_cuts, &lf, &mut totals);
-        }
-
-        IrCongestionMap {
-            pitch: self.pitch,
-            x_cuts,
-            y_cuts,
-            totals,
-            top_fraction: self.top_fraction_permille as f64 / 1000.0,
-        }
-    }
-
-    fn accumulate(
-        &self,
-        range: &RoutingRange,
-        x_cuts: &[i64],
-        y_cuts: &[i64],
-        lf: &LnFactorials,
-        totals: &mut [f64],
-    ) {
-        let ir_cols = x_cuts.len() - 1;
-
-        // Corridors (single row or column of unit cells): every route
-        // crosses every cell, so every intersecting IR-grid gets 1.
-        if range.g1() == 1 || range.g2() == 1 {
-            let (ix1, ix2) = snap_span(x_cuts, range.x0(), range.x0() + range.g1());
-            let (iy1, iy2) = snap_span(y_cuts, range.y0(), range.y0() + range.g2());
-            for jy in iy1..iy2 {
-                for jx in ix1..ix2 {
-                    totals[jy * ir_cols + jx] += 1.0;
-                }
-            }
-            return;
-        }
-
-        // Step 2 (cont.): snap the routing range to surviving cut lines.
-        let (ix1, ix2) = snap_span(x_cuts, range.x0(), range.x0() + range.g1());
-        let (iy1, iy2) = snap_span(y_cuts, range.y0(), range.y0() + range.g2());
-        let x0 = x_cuts[ix1];
-        let y0 = y_cuts[iy1];
-        let g1 = x_cuts[ix2] - x0;
-        let g2 = y_cuts[iy2] - y0;
-        let snapped = RoutingRange::from_cells(x0, y0, g1, g2, range.net_type());
-
-        let use_exact = self.evaluator == Evaluator::Exact || g1 + g2 <= self.exact_threshold;
-
-        for jy in iy1..iy2 {
-            let y1 = y_cuts[jy] - y0;
-            let y2 = y_cuts[jy + 1] - 1 - y0;
-            for jx in ix1..ix2 {
-                let x1 = x_cuts[jx] - x0;
-                let x2 = x_cuts[jx + 1] - 1 - x0;
-                // Step 3.1: IR-grids covering a pin get probability 1.
-                let p = if snapped
-                    .pin_cells()
-                    .iter()
-                    .any(|&(px, py)| (x1..=x2).contains(&px) && (y1..=y2).contains(&py))
-                {
-                    1.0
-                } else if use_exact {
-                    block_probability_exact(&snapped, lf, x1, x2, y1, y2)
-                } else {
-                    block_probability_approx(&snapped, x1, x2, y1, y2, &self.approx)
-                };
-                totals[jy * ir_cols + jx] += p;
-            }
-        }
+        CongestionEvaluator::new(*self).congestion_map(chip, segments)
     }
 }
 
 impl CongestionModel for IrregularGridModel {
     fn evaluate(&self, chip: &Rect, segments: &[(Point, Point)]) -> f64 {
-        self.congestion_map(chip, segments).cost()
+        CongestionEvaluator::new(*self).evaluate(chip, segments)
     }
 
     fn name(&self) -> String {
         format!("irregular-grid {}", self.pitch)
+    }
+}
+
+impl crate::RetainedCongestion for IrregularGridModel {
+    type Session = CongestionEvaluator;
+
+    fn session(&self) -> CongestionEvaluator {
+        CongestionEvaluator::new(*self)
     }
 }
 

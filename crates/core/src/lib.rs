@@ -49,7 +49,9 @@ pub mod score;
 
 pub use fixed::{CellArithmetic, FixedCongestionMap, FixedGridModel};
 pub use grid::UnitGrid;
-pub use irregular::{ApproxConfig, Evaluator, IrCongestionMap, IrregularGridModel};
+pub use irregular::{
+    ApproxConfig, CongestionEvaluator, Evaluator, IrCongestionMap, IrregularGridModel,
+};
 pub use lz::{LzCongestionMap, LzShapeModel};
 pub use routing::{NetType, RoutingRange};
 
@@ -59,7 +61,8 @@ use irgrid_geom::{Point, Rect};
 ///
 /// Implemented by both [`FixedGridModel`] and [`IrregularGridModel`];
 /// the floorplanner (see the `irgrid` facade crate) is generic over it,
-/// which is how the paper's Experiments 1–3 swap models.
+/// which is how the paper's Experiments 1–3 swap models. Kept
+/// object-safe — reporting code compares `dyn CongestionModel`s.
 pub trait CongestionModel {
     /// Scores a floorplan: `chip` is the packed bounding box (lower-left
     /// at the origin), `segments` the MST-decomposed 2-pin nets. Higher
@@ -68,4 +71,48 @@ pub trait CongestionModel {
 
     /// A human-readable model name for reports.
     fn name(&self) -> String;
+}
+
+/// A retained evaluation session minted by [`RetainedCongestion`]:
+/// mutable scratch state reused across evaluations so a hot loop (the
+/// annealer's cost function) does not pay per-call setup.
+///
+/// A session must score exactly like its model: for every input,
+/// `session.evaluate(..)` equals `model.evaluate(..)` bit for bit,
+/// regardless of what the session evaluated before.
+pub trait CongestionSession: std::fmt::Debug {
+    /// Scores a floorplan, reusing internal scratch. Same contract as
+    /// [`CongestionModel::evaluate`].
+    fn evaluate(&mut self, chip: &Rect, segments: &[(Point, Point)]) -> f64;
+}
+
+/// A congestion model that can mint retained evaluation sessions.
+///
+/// This lives beside [`CongestionModel`] (not in it) because the
+/// associated type would cost the base trait its object safety.
+pub trait RetainedCongestion: CongestionModel {
+    /// The session type this model mints.
+    type Session: CongestionSession;
+
+    /// Creates a fresh session. Sessions are independent: each carries
+    /// its own scratch and may live on its own thread.
+    fn session(&self) -> Self::Session;
+}
+
+/// A trivial [`CongestionSession`] for models without retained state: it
+/// forwards to the model's stateless [`CongestionModel::evaluate`].
+#[derive(Debug, Clone)]
+pub struct StatelessSession<M>(M);
+
+impl<M: CongestionModel> StatelessSession<M> {
+    /// Wraps a model (usually a cheap copy of it).
+    pub fn new(model: M) -> StatelessSession<M> {
+        StatelessSession(model)
+    }
+}
+
+impl<M: CongestionModel + std::fmt::Debug> CongestionSession for StatelessSession<M> {
+    fn evaluate(&mut self, chip: &Rect, segments: &[(Point, Point)]) -> f64 {
+        self.0.evaluate(chip, segments)
+    }
 }

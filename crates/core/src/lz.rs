@@ -166,6 +166,14 @@ impl CongestionModel for LzShapeModel {
     }
 }
 
+impl crate::RetainedCongestion for LzShapeModel {
+    type Session = crate::StatelessSession<LzShapeModel>;
+
+    fn session(&self) -> Self::Session {
+        crate::StatelessSession::new(*self)
+    }
+}
+
 /// The per-grid congestion produced by [`LzShapeModel`].
 #[derive(Debug, Clone)]
 pub struct LzCongestionMap {

@@ -146,6 +146,20 @@ impl LnFactorials {
         self.table.len() - 1
     }
 
+    /// Grows the table so arguments up to `n` inclusive are supported.
+    ///
+    /// The table only ever extends (the prefix is an accumulation, so
+    /// existing entries are already final); a table that is large enough
+    /// is left untouched, making this free in an evaluator's steady
+    /// state.
+    pub fn ensure_up_to(&mut self, n: usize) {
+        let mut acc = *self.table.last().expect("table holds at least ln 0!");
+        for i in self.table.len()..=n {
+            acc += (i as f64).ln();
+            self.table.push(acc);
+        }
+    }
+
     /// `ln(n!)`.
     ///
     /// # Panics
@@ -254,6 +268,24 @@ mod tests {
             );
         }
         assert_eq!(lf.ln_binomial(3, 9), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn grown_table_matches_fresh_table() {
+        let mut grown = LnFactorials::up_to(10);
+        grown.ensure_up_to(4); // no-op: already large enough
+        assert_eq!(grown.max_n(), 10);
+        grown.ensure_up_to(300);
+        assert_eq!(grown.max_n(), 300);
+        let fresh = LnFactorials::up_to(300);
+        for n in 0..=300usize {
+            // Bit-identical: growth appends the same accumulation.
+            assert_eq!(
+                grown.ln_factorial(n).to_bits(),
+                fresh.ln_factorial(n).to_bits(),
+                "n = {n}"
+            );
+        }
     }
 
     #[test]

@@ -64,6 +64,19 @@ pub fn top_fraction_mean(values: &[f64], fraction: f64) -> f64 {
 /// ```
 #[must_use]
 pub fn top_area_fraction_mean(cells: &[(f64, f64)], fraction: f64) -> f64 {
+    let mut sorted = cells.to_vec();
+    top_area_fraction_mean_in_place(&mut sorted, fraction)
+}
+
+/// [`top_area_fraction_mean`] sorting the caller's buffer in place, so a
+/// retained evaluator can score without allocating. Identical result
+/// (same stable sort, same accumulation order).
+///
+/// # Panics
+///
+/// Panics if `fraction` is not in `(0, 1]` or any area is negative.
+#[must_use]
+pub fn top_area_fraction_mean_in_place(cells: &mut [(f64, f64)], fraction: f64) -> f64 {
     assert!(
         fraction > 0.0 && fraction <= 1.0,
         "fraction must be in (0, 1], got {fraction}"
@@ -79,11 +92,10 @@ pub fn top_area_fraction_mean(cells: &[(f64, f64)], fraction: f64) -> f64 {
         return 0.0;
     }
     let target = total_area * fraction;
-    let mut sorted = cells.to_vec();
-    sorted.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("densities are finite"));
+    cells.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("densities are finite"));
     let mut remaining = target;
     let mut weighted = 0.0;
-    for (density, area) in sorted {
+    for &(density, area) in cells.iter() {
         let take = area.min(remaining);
         weighted += density * take;
         remaining -= take;

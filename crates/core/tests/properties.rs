@@ -5,7 +5,8 @@ use irgrid_core::irregular::{block_probability_approx, block_probability_exact, 
 use irgrid_core::num::{binomial_u128, LnFactorials};
 use irgrid_core::score::{top_area_fraction_mean, top_fraction_mean};
 use irgrid_core::{
-    CongestionModel, FixedGridModel, IrregularGridModel, NetType, RoutingRange, UnitGrid,
+    CongestionModel, Evaluator, FixedGridModel, IrregularGridModel, NetType, RetainedCongestion,
+    RoutingRange, UnitGrid,
 };
 use irgrid_geom::{Point, Rect, Um};
 use proptest::prelude::*;
@@ -251,6 +252,53 @@ mod model_invariants {
             prop_assert_eq!(fixed.evaluate(&chip, &s1), fixed.evaluate(&chip, &s2));
             let ir = IrregularGridModel::new(Um(30));
             prop_assert_eq!(ir.evaluate(&chip, &s1), ir.evaluate(&chip, &s2));
+        }
+
+        #[test]
+        fn parallel_map_bit_identical_to_serial(
+            segments in arb_segments(),
+            exact in prop_oneof![Just(false), Just(true)],
+        ) {
+            // Row-band ownership makes every per-cell accumulation order
+            // independent of the thread count, so the maps must match
+            // bit for bit — not merely within tolerance.
+            let chip = Rect::from_origin_size(Point::ORIGIN, Um(900), Um(900));
+            let mut base = IrregularGridModel::new(Um(30));
+            if exact {
+                base = base.with_evaluator(Evaluator::Exact);
+            }
+            let serial = base.congestion_map(&chip, &segments);
+            for threads in [2usize, 4, 8] {
+                let parallel = base.with_threads(threads).congestion_map(&chip, &segments);
+                prop_assert_eq!(serial.x_cuts(), parallel.x_cuts());
+                prop_assert_eq!(serial.y_cuts(), parallel.y_cuts());
+                for j in 0..serial.ir_rows() {
+                    for i in 0..serial.ir_cols() {
+                        let (a, b) = (serial.total(i, j), parallel.total(i, j));
+                        prop_assert_eq!(
+                            a.to_bits(), b.to_bits(),
+                            "cell ({},{}) differs at {} threads: {} vs {}", i, j, threads, a, b
+                        );
+                    }
+                }
+            }
+        }
+
+        #[test]
+        fn retained_session_matches_one_shot_evaluate(segments in arb_segments()) {
+            // A warm session reused across calls must reproduce the
+            // one-shot model cost exactly, including after evaluating
+            // other segment sets in between.
+            let chip = Rect::from_origin_size(Point::ORIGIN, Um(900), Um(900));
+            let model = IrregularGridModel::new(Um(30));
+            let one_shot = model.evaluate(&chip, &segments);
+            let mut session = model.session();
+            prop_assert_eq!(session.evaluate(&chip, &segments).to_bits(), one_shot.to_bits());
+            // Perturb the scratch with a different workload, then re-ask.
+            let mut doubled = segments.clone();
+            doubled.extend(segments.iter().copied());
+            session.evaluate(&chip, &doubled);
+            prop_assert_eq!(session.evaluate(&chip, &segments).to_bits(), one_shot.to_bits());
         }
 
         #[test]

@@ -4,7 +4,9 @@
 //! `α·Area + β·Wirelength + γ·Congestion` over normalized Polish
 //! expressions by simulated annealing. [`FloorplanProblem`] wires the
 //! workspace pieces together: packing, intersection-to-intersection pin
-//! placement, MST decomposition, and a pluggable [`CongestionModel`].
+//! placement, MST decomposition, and a pluggable congestion model
+//! ([`RetainedCongestion`]): the problem mints one retained evaluation
+//! session at construction and reuses it for every cost call.
 //!
 //! Objective terms are normalized by random-walk averages sampled at
 //! construction, so the weights express *relative* importance regardless
@@ -12,7 +14,8 @@
 //! congestion (~10⁻¹).
 
 use irgrid_anneal::Problem;
-use irgrid_core::CongestionModel;
+use irgrid_core::{CongestionSession, RetainedCongestion};
+use std::cell::RefCell;
 use std::fmt;
 use std::marker::PhantomData;
 
@@ -143,18 +146,23 @@ pub struct FloorplanEval {
 ///
 /// See the [crate-level quickstart](crate) for an end-to-end example.
 #[derive(Debug)]
-pub struct FloorplanProblem<'c, M, R = PolishExpr> {
+pub struct FloorplanProblem<'c, M: RetainedCongestion, R = PolishExpr> {
     circuit: &'c Circuit,
     placer: PinPlacer,
     weights: Weights,
     congestion: Option<M>,
+    /// The model's retained evaluation session, reused across every cost
+    /// evaluation of the annealing loop so per-call scratch amortizes.
+    /// Interior mutability because [`Problem::cost`] takes `&self`; the
+    /// annealer is single-threaded, so borrows never overlap.
+    session: Option<RefCell<M::Session>>,
     area_scale: f64,
     wire_scale: f64,
     congestion_scale: f64,
     repr: PhantomData<R>,
 }
 
-impl<'c, M: CongestionModel> FloorplanProblem<'c, M, PolishExpr> {
+impl<'c, M: RetainedCongestion> FloorplanProblem<'c, M, PolishExpr> {
     /// Creates a problem for `circuit` with pins and congestion evaluated
     /// at `pitch`, over normalized Polish expressions (the paper's
     /// slicing representation).
@@ -189,7 +197,7 @@ impl<'c, M: CongestionModel> FloorplanProblem<'c, M, PolishExpr> {
     }
 }
 
-impl<'c, M: CongestionModel, R: FloorplanRepr> FloorplanProblem<'c, M, R> {
+impl<'c, M: RetainedCongestion, R: FloorplanRepr> FloorplanProblem<'c, M, R> {
     /// Creates a problem over an arbitrary floorplan representation
     /// (e.g. [`irgrid_floorplan::SequencePair`] for non-slicing
     /// floorplans).
@@ -226,11 +234,15 @@ impl<'c, M: CongestionModel, R: FloorplanRepr> FloorplanProblem<'c, M, R> {
         if !(weights.area >= 0.0 && weights.wire >= 0.0 && weights.congestion >= 0.0) {
             return Err(FloorplanError::NegativeWeights(weights));
         }
+        let session = congestion
+            .as_ref()
+            .map(|model| RefCell::new(model.session()));
         let mut problem = FloorplanProblem {
             circuit,
             placer: PinPlacer::new(pitch),
             weights,
             congestion,
+            session,
             area_scale: 1.0,
             wire_scale: 1.0,
             congestion_scale: 1.0,
@@ -286,8 +298,11 @@ impl<'c, M: CongestionModel, R: FloorplanRepr> FloorplanProblem<'c, M, R> {
         Ok(())
     }
 
-    /// `(area, wirelength, congestion)` of one encoding, unnormalized.
-    fn evaluate_raw(&self, repr: &R) -> (f64, f64, f64) {
+    /// The single place → decompose → measure pipeline behind both the
+    /// hot loop ([`Problem::cost`], `score_congestion` false when γ = 0)
+    /// and the reporting path ([`FloorplanProblem::evaluate`], always
+    /// scored) — one code path, so the two cannot drift.
+    fn measure(&self, repr: &R, score_congestion: bool) -> FloorplanEval {
         let placement = repr.place(self.circuit);
         let segments = two_pin_segments(self.circuit, &placement, &self.placer);
         let area = placement.area().as_f64();
@@ -295,30 +310,11 @@ impl<'c, M: CongestionModel, R: FloorplanRepr> FloorplanProblem<'c, M, R> {
             .iter()
             .map(|(a, b)| a.manhattan_distance(*b).as_f64())
             .sum();
-        let congestion = match &self.congestion {
-            Some(model) if self.weights.congestion > 0.0 => {
-                model.evaluate(&placement.chip(), &segments)
+        let congestion = match &self.session {
+            Some(session) if score_congestion => {
+                session.borrow_mut().evaluate(&placement.chip(), &segments)
             }
             _ => 0.0,
-        };
-        (area, wire, congestion)
-    }
-
-    /// Fully evaluates an expression, returning the placement and all
-    /// objective values. Use this on the annealer's best state to report
-    /// results; the annealing loop itself goes through [`Problem::cost`].
-    #[must_use]
-    pub fn evaluate(&self, repr: &R) -> FloorplanEval {
-        let placement = repr.place(self.circuit);
-        let segments = two_pin_segments(self.circuit, &placement, &self.placer);
-        let area = placement.area().as_f64();
-        let wire: f64 = segments
-            .iter()
-            .map(|(a, b)| a.manhattan_distance(*b).as_f64())
-            .sum();
-        let congestion = match &self.congestion {
-            Some(model) => model.evaluate(&placement.chip(), &segments),
-            None => 0.0,
         };
         let cost = self.combine(area, wire, congestion);
         FloorplanEval {
@@ -331,6 +327,22 @@ impl<'c, M: CongestionModel, R: FloorplanRepr> FloorplanProblem<'c, M, R> {
         }
     }
 
+    /// `(area, wirelength, congestion)` of one encoding, unnormalized.
+    /// Congestion is skipped (scored 0) when γ = 0 — it would not affect
+    /// the cost.
+    fn evaluate_raw(&self, repr: &R) -> (f64, f64, f64) {
+        let eval = self.measure(repr, self.weights.congestion > 0.0);
+        (eval.area_um2, eval.wirelength_um, eval.congestion)
+    }
+
+    /// Fully evaluates an expression, returning the placement and all
+    /// objective values. Use this on the annealer's best state to report
+    /// results; the annealing loop itself goes through [`Problem::cost`].
+    #[must_use]
+    pub fn evaluate(&self, repr: &R) -> FloorplanEval {
+        self.measure(repr, true)
+    }
+
     fn combine(&self, area: f64, wire: f64, congestion: f64) -> f64 {
         self.weights.area * area / self.area_scale
             + self.weights.wire * wire / self.wire_scale
@@ -338,7 +350,7 @@ impl<'c, M: CongestionModel, R: FloorplanRepr> FloorplanProblem<'c, M, R> {
     }
 }
 
-impl<'c, M: CongestionModel, R: FloorplanRepr> Problem for FloorplanProblem<'c, M, R> {
+impl<'c, M: RetainedCongestion, R: FloorplanRepr> Problem for FloorplanProblem<'c, M, R> {
     type State = R;
 
     fn initial_state(&self) -> R {
@@ -504,15 +516,23 @@ mod tests {
     }
 
     /// A congestion model that always scores NaN.
-    #[derive(Debug)]
+    #[derive(Debug, Clone)]
     struct NanModel;
 
-    impl CongestionModel for NanModel {
+    impl irgrid_core::CongestionModel for NanModel {
         fn evaluate(&self, _: &irgrid_geom::Rect, _: &[(Point, Point)]) -> f64 {
             f64::NAN
         }
         fn name(&self) -> String {
             "nan".into()
+        }
+    }
+
+    impl RetainedCongestion for NanModel {
+        type Session = irgrid_core::StatelessSession<NanModel>;
+
+        fn session(&self) -> Self::Session {
+            irgrid_core::StatelessSession::new(self.clone())
         }
     }
 
