@@ -4,6 +4,7 @@
 use std::fmt;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+// irgrid-lint: allow(D1): wall-clock here only decides when a run stops between moves; it never feeds a cost or map, and deadlines are excluded from checkpoints
 use std::time::{Duration, Instant};
 
 use serde::{Deserialize, Serialize};
@@ -52,6 +53,7 @@ impl CancelToken {
 /// replays the interrupted tail bit-identically.
 #[derive(Debug, Clone, Default)]
 pub struct RunControl {
+    // irgrid-lint: allow(D1): deadline gates run length only, never cost
     pub(crate) deadline: Option<Instant>,
     pub(crate) cancel: Option<CancelToken>,
     pub(crate) move_budget: Option<u64>,
@@ -67,6 +69,7 @@ impl RunControl {
 
     /// Stops the run at a fixed point in time.
     #[must_use]
+    // irgrid-lint: allow(D1): deadline gates run length only, never cost
     pub fn with_deadline(mut self, deadline: Instant) -> RunControl {
         self.deadline = Some(deadline);
         self
@@ -77,7 +80,7 @@ impl RunControl {
     /// [`with_deadline`]: RunControl::with_deadline
     #[must_use]
     pub fn with_time_limit(self, limit: Duration) -> RunControl {
-        self.with_deadline(Instant::now() + limit)
+        self.with_deadline(Instant::now() + limit) // irgrid-lint: allow(D1): deadline gates run length only, never cost
     }
 
     /// Stops the run when `token` is cancelled.
@@ -117,7 +120,7 @@ impl RunControl {
 
     /// Whether the deadline (if any) has passed.
     pub(crate) fn deadline_hit(&self) -> bool {
-        self.deadline.is_some_and(|d| Instant::now() >= d)
+        self.deadline.is_some_and(|d| Instant::now() >= d) // irgrid-lint: allow(D1): deadline gates run length only, never cost
     }
 
     /// Whether cancellation (if any) was requested.

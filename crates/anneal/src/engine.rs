@@ -161,6 +161,7 @@ impl Annealer {
     pub fn run<P: Problem>(&self, problem: &P, seed: u64) -> AnnealResult<P::State> {
         match self.run_controlled(problem, seed, &RunControl::unlimited()) {
             Ok(result) => result,
+            // irgrid-lint: allow(P1): documented panicking wrapper; run_controlled is the typed path
             Err(err) => panic!("annealing run failed: {err}"),
         }
     }

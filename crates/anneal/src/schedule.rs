@@ -86,6 +86,7 @@ impl Schedule {
     /// checkpoint) and a recoverable error is wanted.
     pub fn validate(&self) {
         if let Err(err) = self.validated() {
+            // irgrid-lint: allow(P1): documented panicking validator; Schedule::validated is the typed path
             panic!("{err}");
         }
     }

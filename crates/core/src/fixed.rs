@@ -122,6 +122,7 @@ impl FixedGridModel {
         let mut values = vec![0.0f64; grid.cell_count()];
         let cols = grid.cols();
 
+        // irgrid-lint: allow(C1): grid dimensions are positive and far below 2^31
         let max_arg = (grid.cols() + grid.rows() + 2) as usize;
         let lf = LnFactorials::up_to(max_arg);
 
@@ -130,6 +131,7 @@ impl FixedGridModel {
             for y in 0..range.g2() {
                 let row_base = (range.y0() + y) * cols + range.x0();
                 for x in 0..range.g1() {
+                    // irgrid-lint: allow(C1): row-major index, non-negative and < cell_count
                     values[(row_base + x) as usize] += match self.arithmetic {
                         CellArithmetic::TableLookup => range.cell_probability(&lf, x, y),
                         CellArithmetic::PerCellGamma => range.cell_probability_gamma(x, y),
@@ -141,7 +143,7 @@ impl FixedGridModel {
         FixedCongestionMap {
             grid,
             values,
-            top_fraction: self.top_fraction_permille as f64 / 1000.0,
+            top_fraction: f64::from(self.top_fraction_permille) / 1000.0,
         }
     }
 }
@@ -192,6 +194,7 @@ impl FixedCongestionMap {
             self.grid.cols(),
             self.grid.rows()
         );
+        // irgrid-lint: allow(C1): row-major index, asserted in range just above
         self.values[(y * self.grid.cols() + x) as usize]
     }
 
@@ -217,7 +220,7 @@ impl FixedCongestionMap {
     /// The maximum cell congestion.
     #[must_use]
     pub fn peak(&self) -> f64 {
-        self.values.iter().copied().fold(0.0, f64::max)
+        self.values.iter().copied().fold(0.0, f64::max) // irgrid-lint: allow(D2): max is order-independent
     }
 
     /// Total congestion mass: `Σ f(x, y)`. For one net this equals the
@@ -225,7 +228,7 @@ impl FixedCongestionMap {
     /// tests.
     #[must_use]
     pub fn total_mass(&self) -> f64 {
-        self.values.iter().sum()
+        self.values.iter().sum() // irgrid-lint: allow(D2): serial in-order sum over the dense row-major Vec
     }
 }
 

@@ -297,7 +297,7 @@ impl IrCongestionMap {
         self.density_area_pairs()
             .into_iter()
             .map(|(d, _)| d)
-            .fold(0.0, f64::max)
+            .fold(0.0, f64::max) // irgrid-lint: allow(D2): max is order-independent
     }
 }
 

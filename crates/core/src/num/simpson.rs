@@ -31,11 +31,11 @@ pub fn simpson(a: f64, b: f64, intervals: usize, f: impl Fn(f64) -> f64) -> f64 
     if a == b {
         return 0.0;
     }
-    let h = (b - a) / n as f64;
+    let h = (b - a) / n as f64; // irgrid-lint: allow(C1): interval counts are small (≤ thousands), exact in f64
     let mut acc = f(a) + f(b);
     for i in 1..n {
         let weight = if i % 2 == 1 { 4.0 } else { 2.0 };
-        acc += weight * f(a + h * i as f64);
+        acc += weight * f(a + h * i as f64); // irgrid-lint: allow(C1): i < intervals + 1, exact in f64
     }
     acc * h / 3.0
 }

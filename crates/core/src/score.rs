@@ -35,7 +35,8 @@ pub fn top_fraction_mean(values: &[f64], fraction: f64) -> f64 {
     }
     let take = ((values.len() as f64 * fraction).ceil() as usize).clamp(1, values.len());
     let mut sorted = values.to_vec();
-    sorted.sort_by(|a, b| b.partial_cmp(a).expect("congestion values are finite"));
+    sorted.sort_by(|a, b| b.total_cmp(a));
+    // irgrid-lint: allow(D2): serial in-order sum over the sorted top slice; one fixed order
     sorted[..take].iter().sum::<f64>() / take as f64
 }
 
@@ -87,12 +88,12 @@ pub fn top_area_fraction_mean_in_place(cells: &mut [(f64, f64)], fraction: f64) 
             assert!(a >= 0.0, "cell areas must be non-negative, got {a}");
             a
         })
-        .sum();
+        .sum(); // irgrid-lint: allow(D2): serial in-order area sum over the caller's slice
     if total_area <= 0.0 {
         return 0.0;
     }
     let target = total_area * fraction;
-    cells.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("densities are finite"));
+    cells.sort_by(|a, b| b.0.total_cmp(&a.0));
     let mut remaining = target;
     let mut weighted = 0.0;
     for &(density, area) in cells.iter() {

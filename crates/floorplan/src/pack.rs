@@ -181,7 +181,9 @@ fn pack_impl(expr: &PolishExpr, candidates: &[Vec<(Um, Um)>]) -> (Vec<Rect>, Rec
                 stack.push(nodes.len() - 1);
             }
             Element::Operator(cut) => {
+                // irgrid-lint: allow(P1): the balloting property of a normalized Polish expression guarantees two operands per operator
                 let right = stack.pop().expect("balloting guarantees a right child");
+                // irgrid-lint: allow(P1): the balloting property of a normalized Polish expression guarantees two operands per operator
                 let left = stack.pop().expect("balloting guarantees a left child");
                 let mut combined = Vec::with_capacity(shapes[left].len() * shapes[right].len());
                 for (li, ls) in shapes[left].iter().enumerate() {
@@ -205,6 +207,7 @@ fn pack_impl(expr: &PolishExpr, candidates: &[Vec<(Um, Um)>]) -> (Vec<Rect>, Rec
         }
     }
 
+    // irgrid-lint: allow(P1): PolishExpr construction rejects empty expressions
     let root = stack.pop().expect("non-empty expression has a root");
     debug_assert!(stack.is_empty(), "valid expression leaves exactly one root");
 
@@ -214,6 +217,7 @@ fn pack_impl(expr: &PolishExpr, candidates: &[Vec<(Um, Um)>]) -> (Vec<Rect>, Rec
         .enumerate()
         .min_by_key(|(_, s)| (s.w * s.h, (s.w - s.h).abs()))
         .map(|(i, _)| i)
+        // irgrid-lint: allow(P1): prune() always returns at least one shape
         .expect("shape lists are never empty");
 
     // Assign positions top-down. For leaves, `left_choice` holds the

@@ -131,7 +131,9 @@ impl SequencePair {
                 let b = rng.gen_range(0..n);
                 let (ma, mb) = (self.pos[a], self.pos[b]);
                 self.pos.swap(a, b);
+                // irgrid-lint: allow(P1): pos and neg are permutations of the same module set
                 let ia = self.neg.iter().position(|&m| m == ma).expect("permutation");
+                // irgrid-lint: allow(P1): pos and neg are permutations of the same module set
                 let ib = self.neg.iter().position(|&m| m == mb).expect("permutation");
                 self.neg.swap(ia, ib);
             }
@@ -205,7 +207,9 @@ impl SequencePair {
         let rects: Vec<Rect> = (0..n)
             .map(|i| Rect::from_origin_size(Point::new(x[i], y[i]), dims[i].0, dims[i].1))
             .collect();
+        // irgrid-lint: allow(P1): the constructor rejects empty module lists
         let chip_w = rects.iter().map(|r| r.ur().x).max().expect("non-empty");
+        // irgrid-lint: allow(P1): the constructor rejects empty module lists
         let chip_h = rects.iter().map(|r| r.ur().y).max().expect("non-empty");
         let chip = Rect::from_origin_size(Point::ORIGIN, chip_w, chip_h);
         Placement::from_parts(rects, self.rotated.clone(), chip)

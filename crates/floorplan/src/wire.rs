@@ -35,7 +35,7 @@ pub fn total_wirelength(circuit: &Circuit, placement: &Placement, placer: &PinPl
     net_pins(circuit, placement, placer)
         .iter()
         .map(|pins| mst::mst_length(pins))
-        .sum()
+        .sum::<Um>()
 }
 
 /// How multi-pin nets are broken into 2-pin segments.

@@ -214,6 +214,7 @@ impl<'c, M: RetainedCongestion, R: FloorplanRepr> FloorplanProblem<'c, M, R> {
     ) -> FloorplanProblem<'c, M, R> {
         match FloorplanProblem::try_with_representation(circuit, pitch, weights, congestion) {
             Ok(problem) => problem,
+            // irgrid-lint: allow(P1): documented panicking wrapper; try_with_representation is the typed path
             Err(err) => panic!("{err}"),
         }
     }
@@ -309,7 +310,7 @@ impl<'c, M: RetainedCongestion, R: FloorplanRepr> FloorplanProblem<'c, M, R> {
         let wire: f64 = segments
             .iter()
             .map(|(a, b)| a.manhattan_distance(*b).as_f64())
-            .sum();
+            .sum(); // irgrid-lint: allow(D2): serial in-order sum over the segment Vec; order fixed by net decomposition
         let congestion = match &self.session {
             Some(session) if score_congestion => {
                 session.borrow_mut().evaluate(&placement.chip(), &segments)

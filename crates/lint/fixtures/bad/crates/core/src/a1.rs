@@ -1,0 +1,7 @@
+//! A1 fixture: a suppression directive without a reason neither parses
+//! nor suppresses — both the malformed directive and the underlying
+//! finding are reported.
+
+pub fn unjustified(values: &[f64]) -> f64 {
+    values.iter().sum::<f64>() // irgrid-lint: allow(D2)
+}

@@ -1,0 +1,13 @@
+//! D1 fixture: wall-clock and hash-order iteration in a cost crate.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+pub fn stale_weight(map: &HashMap<u32, u64>) -> u64 {
+    let started = Instant::now();
+    let mut total = 0;
+    for (_, weight) in map.iter() {
+        total += weight;
+    }
+    total + started.elapsed().as_secs()
+}

@@ -1,0 +1,18 @@
+//! D2 fixture: order-sensitive float accumulation in a cost crate.
+
+pub fn mass(values: &[f64]) -> f64 {
+    values.iter().sum::<f64>()
+}
+
+pub fn mean(values: &[f64]) -> f64 {
+    let total: f64 = values.iter().copied().sum();
+    total / values.len() as f64
+}
+
+pub fn weighted(values: &[(f64, f64)]) -> f64 {
+    values.iter().fold(0.0, |acc, &(d, a)| acc + d * a)
+}
+
+pub fn ambiguous(values: &[u64]) -> u64 {
+    values.iter().sum()
+}

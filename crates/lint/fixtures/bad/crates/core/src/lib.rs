@@ -1,0 +1,3 @@
+//! U1 fixture: a library crate root missing `#![forbid(unsafe_code)]`.
+
+pub fn placeholder() {}

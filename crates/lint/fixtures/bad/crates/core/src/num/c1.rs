@@ -1,0 +1,9 @@
+//! C1 fixture: unaudited numeric `as` casts in a precision-audited path.
+
+pub fn widen(n: u64, k: usize) -> f64 {
+    n as f64 + k as f64
+}
+
+pub fn narrow(x: f64) -> i64 {
+    x as i64
+}

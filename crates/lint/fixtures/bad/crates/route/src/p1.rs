@@ -1,0 +1,28 @@
+//! P1 fixture: panicking constructs in non-test library code. The
+//! trailing indexing line only fires under `--strict-indexing`.
+
+pub fn span(v: &[u64]) -> u64 {
+    let head = v.first().unwrap();
+    let tail = v.last().expect("non-empty");
+    if head > tail {
+        panic!("unsorted input");
+    }
+    v[v.len() - 1] - v[0]
+}
+
+pub fn later() -> u64 {
+    todo!("not yet")
+}
+
+pub fn never() -> u64 {
+    unimplemented!()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_unwrap() {
+        let v = [1u64];
+        assert_eq!(*v.first().unwrap(), 1);
+    }
+}

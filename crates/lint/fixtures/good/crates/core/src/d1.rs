@@ -1,0 +1,19 @@
+//! D1 fixture (good): deterministic containers by default; the one
+//! justified wall-clock read carries an allow with a reason.
+
+use std::collections::BTreeMap;
+// irgrid-lint: allow(D1): deadline bookkeeping only; the value never reaches a cost or map
+use std::time::Instant;
+
+pub fn stable_weight(map: &BTreeMap<u32, u64>) -> u64 {
+    let mut total = 0;
+    for (_, weight) in map.iter() {
+        total += weight;
+    }
+    total
+}
+
+// irgrid-lint: allow(D1): deadline bookkeeping only; the value never reaches a cost or map
+pub fn deadline_passed(deadline: Instant) -> bool {
+    Instant::now() >= deadline // irgrid-lint: allow(D1): gates run length only, never cost
+}

@@ -1,0 +1,14 @@
+//! D2 fixture (good): integral reductions declare their element type;
+//! the audited float sum carries an allow naming why its order is fixed.
+
+pub fn mass(values: &[f64]) -> f64 {
+    values.iter().sum::<f64>() // irgrid-lint: allow(D2): serial in-order sum over a dense slice; one fixed order
+}
+
+pub fn counted(values: &[u64]) -> u64 {
+    values.iter().sum::<u64>()
+}
+
+pub fn longest(values: &[f64]) -> f64 {
+    values.iter().copied().fold(0.0, f64::max) // irgrid-lint: allow(D2): max is order-independent
+}

@@ -1,0 +1,5 @@
+//! U1 fixture (good): the crate root carries the unsafe gate.
+
+#![forbid(unsafe_code)]
+
+pub fn placeholder() {}

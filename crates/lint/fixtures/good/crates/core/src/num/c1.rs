@@ -1,0 +1,10 @@
+//! C1 fixture (good): lossless conversions use `From`; the remaining
+//! lossy cast documents its value range.
+
+pub fn widen_exact(n: u32) -> f64 {
+    f64::from(n)
+}
+
+pub fn widen_bounded(n: u64) -> f64 {
+    n as f64 // irgrid-lint: allow(C1): n is a grid span (< 2^32), exact in f64
+}

@@ -1,0 +1,18 @@
+//! P1 fixture (good): fallible paths return `Option`/`Result`; the one
+//! retained `expect` justifies its invariant with an allow.
+
+pub fn span(v: &[u64]) -> Option<u64> {
+    let head = v.first()?;
+    let tail = v.last()?;
+    tail.checked_sub(*head)
+}
+
+pub fn hub(weights: &[u64]) -> usize {
+    weights
+        .iter()
+        .enumerate()
+        .min_by_key(|&(i, w)| (*w, i))
+        .map(|(i, _)| i)
+        // irgrid-lint: allow(P1): callers guarantee at least one weight
+        .expect("non-empty weight list")
+}

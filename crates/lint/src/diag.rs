@@ -1,0 +1,108 @@
+//! Diagnostics: findings and their human/JSON renderings.
+
+use serde::Serialize;
+
+/// One rule violation at a source location.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct Finding {
+    /// Workspace-relative path with `/` separators.
+    pub file: String,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based byte column.
+    pub col: usize,
+    /// Rule ID (`D1`, `D2`, `P1`, `C1`, `U1`, or `A1` for a malformed
+    /// suppression directive).
+    pub rule: String,
+    /// What was matched and why it matters.
+    pub message: String,
+}
+
+impl Finding {
+    /// `path:line:col: RULE: message` — the human format, one per line.
+    pub fn render_human(&self) -> String {
+        format!(
+            "{}:{}:{}: {}: {}",
+            self.file, self.line, self.col, self.rule, self.message
+        )
+    }
+}
+
+/// A whole lint run, for `--format json`.
+#[derive(Debug, Serialize)]
+pub struct Report {
+    /// Report format version.
+    pub version: u32,
+    /// Number of files scanned.
+    pub scanned_files: usize,
+    /// Number of findings (redundant with `findings.len()`, kept so the
+    /// JSON is self-describing when findings are elided downstream).
+    pub finding_count: usize,
+    /// The findings, sorted by (file, line, col, rule).
+    pub findings: Vec<Finding>,
+}
+
+impl Report {
+    /// Builds a report, sorting findings into a stable order.
+    pub fn new(mut findings: Vec<Finding>, scanned_files: usize) -> Report {
+        findings.sort_by(|a, b| {
+            (&a.file, a.line, a.col, &a.rule).cmp(&(&b.file, b.line, b.col, &b.rule))
+        });
+        Report {
+            version: 1,
+            scanned_files,
+            finding_count: findings.len(),
+            findings,
+        }
+    }
+
+    /// Whether the run found no violations.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Renders in the requested format.
+    pub fn render(&self, format: Format) -> String {
+        match format {
+            Format::Human => {
+                let mut out = String::new();
+                for finding in &self.findings {
+                    out.push_str(&finding.render_human());
+                    out.push('\n');
+                }
+                out.push_str(&format!(
+                    "irgrid-lint: {} finding(s) in {} file(s) scanned\n",
+                    self.finding_count, self.scanned_files
+                ));
+                out
+            }
+            Format::Json => {
+                let mut text = serde_json::to_string_pretty(self)
+                    .unwrap_or_else(|_| "{\"error\":\"serialization failed\"}".to_owned());
+                text.push('\n');
+                text
+            }
+        }
+    }
+}
+
+/// Output format for the CLI.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Format {
+    /// `path:line:col: RULE: message` lines plus a summary.
+    Human,
+    /// A machine-readable [`Report`] object.
+    Json,
+}
+
+impl std::str::FromStr for Format {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Format, String> {
+        match s {
+            "human" => Ok(Format::Human),
+            "json" => Ok(Format::Json),
+            other => Err(format!("unknown format `{other}` (expected human|json)")),
+        }
+    }
+}

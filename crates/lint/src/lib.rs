@@ -1,0 +1,66 @@
+//! `irgrid-lint` — the workspace's in-repo static-analysis pass.
+//!
+//! PR 2's retained congestion evaluator stakes a hard guarantee: the
+//! threaded congestion map is bit-identical to the serial one, and a
+//! checkpointed annealing run resumes bit-identically. Nothing in the
+//! compiler enforces that. This crate is the machine-checked gate: a
+//! zero-dependency lexical analysis pass (no `syn`; the workspace builds
+//! offline against vendored stand-ins) that tokenizes every first-party
+//! source file — comment- and string-aware, `#[cfg(test)]`-aware — and
+//! enforces the project's determinism, panic-safety, and numeric-cast
+//! policies with `file:line:col` diagnostics.
+//!
+//! # Rules
+//!
+//! * **D1 determinism** — no wall-clock (`std::time`, `Instant`,
+//!   `SystemTime`) and no hash-ordered containers (`HashMap`/`HashSet`)
+//!   in the cost crates.
+//! * **D2 float reductions** — no order-sensitive float accumulation
+//!   (`.sum::<f64>()`, float `fold`s, untyped `.sum()`) in the cost
+//!   crates outside the audited `core/src/num/` module.
+//! * **P1 panic policy** — no `unwrap`/`expect`/`panic!`/`todo!`/
+//!   `unimplemented!` in non-test library code (slice indexing too,
+//!   under `--strict-indexing`).
+//! * **C1 cast audit** — no unaudited `as` casts between numeric types
+//!   in the fixed-point and binomial paths.
+//! * **U1 unsafe gate** — every library crate root carries
+//!   `#![forbid(unsafe_code)]`.
+//!
+//! Violations are suppressed site-by-site with
+//! `// irgrid-lint: allow(<RULE>): <reason>`; a directive without a
+//! reason is itself a violation (`A1`). See `CONTRIBUTING.md` for the
+//! allow policy and `DESIGN.md` for the architecture.
+//!
+//! # Example
+//!
+//! ```
+//! use irgrid_lint::{check_source, RuleConfig};
+//!
+//! let findings = check_source(
+//!     "crates/core/src/example.rs",
+//!     "fn f(v: &[f64]) -> f64 { v.iter().sum::<f64>() }",
+//!     &RuleConfig::default(),
+//! );
+//! assert_eq!(findings.len(), 1);
+//! assert_eq!(findings[0].rule, "D2");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod diag;
+mod engine;
+mod rules;
+mod scan;
+
+pub use diag::{Finding, Format, Report};
+pub use engine::{find_workspace_root, run, EngineConfig};
+pub use rules::{RuleConfig, RULE_IDS};
+pub use scan::{AllowDirective, MalformedDirective, Scan, KNOWN_RULES};
+
+/// Lints one in-memory source file as if it lived at the
+/// workspace-relative `rel_path` (which decides rule scope).
+pub fn check_source(rel_path: &str, source: &str, config: &RuleConfig) -> Vec<Finding> {
+    let scan = Scan::new(source);
+    rules::check_file(rel_path, &scan, config)
+}

@@ -1,0 +1,140 @@
+//! `irgrid-lint` CLI.
+//!
+//! ```text
+//! cargo run -p irgrid-lint -- [flags]
+//!
+//! flags:
+//!   --format human|json    Output format (default: human)
+//!   --root <dir>           Workspace root (default: walk up from cwd)
+//!   --rules <ID,ID,...>    Run only these rules (default: all)
+//!   --paths <prefix>       Report only findings under this workspace-
+//!                          relative prefix; repeatable
+//!   --everywhere           Ignore per-rule path scopes (sweep mode)
+//!   --strict-indexing      Also flag slice/array indexing under P1
+//!   --list-rules           Print the rule table and exit
+//!
+//! exit status: 0 clean, 1 findings, 2 usage or I/O error.
+//! ```
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use irgrid_lint::{find_workspace_root, run, EngineConfig, Format, KNOWN_RULES};
+
+fn main() -> ExitCode {
+    match try_main() {
+        Ok(clean) => {
+            if clean {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1)
+            }
+        }
+        Err(message) => {
+            eprintln!("irgrid-lint: error: {message}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn try_main() -> Result<bool, String> {
+    let mut config = EngineConfig::default();
+    let mut format = Format::Human;
+    let mut root: Option<PathBuf> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--format" => {
+                let value = args.next().ok_or("--format needs a value")?;
+                format = value.parse()?;
+            }
+            "--root" => {
+                let value = args.next().ok_or("--root needs a value")?;
+                root = Some(PathBuf::from(value));
+            }
+            "--rules" => {
+                let value = args.next().ok_or("--rules needs a value")?;
+                for rule in value.split(',') {
+                    let rule = rule.trim().to_uppercase();
+                    if !KNOWN_RULES.contains(&rule.as_str()) {
+                        return Err(format!(
+                            "unknown rule `{rule}` (known: {})",
+                            KNOWN_RULES.join(", ")
+                        ));
+                    }
+                    config.rules.rules.push(rule);
+                }
+            }
+            "--paths" => {
+                let value = args.next().ok_or("--paths needs a value")?;
+                config.path_filters.push(value);
+            }
+            "--everywhere" => config.rules.everywhere = true,
+            "--strict-indexing" => config.rules.strict_indexing = true,
+            "--list-rules" => {
+                print!("{}", rule_table());
+                return Ok(true);
+            }
+            "--help" | "-h" => {
+                print!("{}", usage());
+                return Ok(true);
+            }
+            other => return Err(format!("unknown flag `{other}` (see --help)")),
+        }
+    }
+
+    let root = match root {
+        Some(dir) => dir,
+        None => {
+            let cwd = std::env::current_dir().map_err(|e| e.to_string())?;
+            find_workspace_root(&cwd)
+                .ok_or("no workspace root found above the current directory; pass --root")?
+        }
+    };
+
+    let report = run(&root, &config).map_err(|e| format!("scanning {}: {e}", root.display()))?;
+    print!("{}", report.render(format));
+    Ok(report.is_clean())
+}
+
+fn usage() -> String {
+    "usage: irgrid-lint [--format human|json] [--root <dir>] [--rules <ID,..>] \
+     [--paths <prefix>]... [--everywhere] [--strict-indexing] [--list-rules]\n"
+        .to_owned()
+}
+
+fn rule_table() -> String {
+    let mut out = String::new();
+    for (id, line) in [
+        (
+            "D1",
+            "determinism: no wall-clock or hash-order iteration in cost crates",
+        ),
+        (
+            "D2",
+            "float reductions: no order-sensitive float accumulation in cost crates",
+        ),
+        (
+            "P1",
+            "panic policy: no unwrap/expect/panic!/todo!/unimplemented! in library code",
+        ),
+        (
+            "C1",
+            "cast audit: no unaudited numeric `as` casts in fixed-point/binomial paths",
+        ),
+        (
+            "U1",
+            "unsafe gate: every library crate root forbids unsafe_code",
+        ),
+        (
+            "A1",
+            "(reserved) malformed `irgrid-lint: allow(...)` directive",
+        ),
+    ] {
+        out.push_str(&format!("{id}  {line}\n"));
+    }
+    out
+}

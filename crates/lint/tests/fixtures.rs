@@ -1,0 +1,120 @@
+//! The fixture corpus: every rule ID has a known-bad snippet it must
+//! catch and a known-good counterpart (compliant or allow-annotated) it
+//! must pass.
+
+use std::path::{Path, PathBuf};
+
+use irgrid_lint::{check_source, run, EngineConfig, RuleConfig};
+
+fn fixture_root(which: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(which)
+}
+
+fn check_fixture(which: &str, rel_path: &str, config: &RuleConfig) -> Vec<irgrid_lint::Finding> {
+    let path = fixture_root(which).join(rel_path);
+    let source = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("fixture {} unreadable: {e}", path.display()));
+    check_source(rel_path, &source, config)
+}
+
+/// (rule, fixture file, minimum findings the bad variant must produce)
+const PAIRS: &[(&str, &str, usize)] = &[
+    ("D1", "crates/core/src/d1.rs", 3),
+    ("D2", "crates/core/src/d2.rs", 4),
+    ("P1", "crates/route/src/p1.rs", 5),
+    ("C1", "crates/core/src/num/c1.rs", 3),
+    ("U1", "crates/core/src/lib.rs", 1),
+];
+
+#[test]
+fn every_rule_catches_its_bad_fixture() {
+    let config = RuleConfig::default();
+    for &(rule, rel, min) in PAIRS {
+        let findings = check_fixture("bad", rel, &config);
+        let hits = findings.iter().filter(|f| f.rule == rule).count();
+        assert!(
+            hits >= min,
+            "{rule}: expected >= {min} findings in bad/{rel}, got {hits}: {findings:?}"
+        );
+    }
+}
+
+#[test]
+fn every_rule_passes_its_good_fixture() {
+    let config = RuleConfig::default();
+    for &(rule, rel, _) in PAIRS {
+        let findings = check_fixture("good", rel, &config);
+        assert!(
+            findings.is_empty(),
+            "{rule}: good/{rel} should be clean, got {findings:?}"
+        );
+    }
+}
+
+#[test]
+fn bad_fixture_corpus_fails_as_a_whole_workspace() {
+    let report = run(&fixture_root("bad"), &EngineConfig::default()).expect("scan bad corpus");
+    assert!(!report.is_clean());
+    for rule in ["D1", "D2", "P1", "C1", "U1", "A1"] {
+        assert!(
+            report.findings.iter().any(|f| f.rule == rule),
+            "bad corpus should trip {rule}: {:?}",
+            report.findings
+        );
+    }
+}
+
+#[test]
+fn good_fixture_corpus_passes_as_a_whole_workspace() {
+    let report = run(&fixture_root("good"), &EngineConfig::default()).expect("scan good corpus");
+    assert!(
+        report.is_clean(),
+        "good corpus should be clean, got {:?}",
+        report.findings
+    );
+    assert!(report.scanned_files >= 5);
+}
+
+#[test]
+fn malformed_allow_reports_a1_and_still_reports_the_violation() {
+    let findings = check_fixture("bad", "crates/core/src/a1.rs", &RuleConfig::default());
+    assert!(findings.iter().any(|f| f.rule == "A1"));
+    assert!(
+        findings.iter().any(|f| f.rule == "D2"),
+        "a reason-less allow must not suppress: {findings:?}"
+    );
+}
+
+#[test]
+fn strict_indexing_flags_the_p1_fixture_index_expression() {
+    let default_hits = check_fixture("bad", "crates/route/src/p1.rs", &RuleConfig::default());
+    let strict = RuleConfig {
+        strict_indexing: true,
+        ..RuleConfig::default()
+    };
+    let strict_hits = check_fixture("bad", "crates/route/src/p1.rs", &strict);
+    assert!(
+        strict_hits.len() > default_hits.len(),
+        "strict mode should add indexing findings"
+    );
+    assert!(strict_hits
+        .iter()
+        .any(|f| f.rule == "P1" && f.message.contains("indexing")));
+}
+
+#[test]
+fn test_code_in_fixtures_is_exempt() {
+    let findings = check_fixture("bad", "crates/route/src/p1.rs", &RuleConfig::default());
+    // The `#[cfg(test)]` module at the bottom of the fixture unwraps
+    // freely; no finding may point past the module's opening line.
+    let source = std::fs::read_to_string(fixture_root("bad").join("crates/route/src/p1.rs"))
+        .expect("fixture readable");
+    let test_mod_line = source
+        .lines()
+        .position(|l| l.contains("#[cfg(test)]"))
+        .expect("fixture has a test module")
+        + 1;
+    assert!(findings.iter().all(|f| f.line < test_mod_line));
+}

@@ -1,0 +1,63 @@
+//! The tier-1 gate: the full-workspace lint run must be clean.
+//!
+//! This is the test that turns the lint from a CI convenience into a
+//! local invariant — `cargo test` fails the moment a PR introduces a
+//! wall-clock call, a hash-ordered iteration, an unjustified panic path,
+//! an unaudited cast, or drops a crate's unsafe gate, without waiting
+//! for CI.
+
+use std::path::Path;
+
+use irgrid_lint::{find_workspace_root, run, EngineConfig};
+
+fn workspace_root() -> std::path::PathBuf {
+    let manifest = Path::new(env!("CARGO_MANIFEST_DIR"));
+    find_workspace_root(manifest).expect("crates/lint lives inside the workspace")
+}
+
+#[test]
+fn workspace_is_lint_clean() {
+    let report = run(&workspace_root(), &EngineConfig::default()).expect("scan workspace");
+    assert!(
+        report.is_clean(),
+        "irgrid-lint found violations:\n{}",
+        report.render(irgrid_lint::Format::Human)
+    );
+}
+
+#[test]
+fn workspace_scan_covers_every_first_party_crate() {
+    let report = run(&workspace_root(), &EngineConfig::default()).expect("scan workspace");
+    // The workspace has eight first-party crates plus this one; a scan
+    // that suddenly sees far fewer files means the walker broke and the
+    // clean result above is vacuous.
+    assert!(
+        report.scanned_files >= 60,
+        "only {} files scanned",
+        report.scanned_files
+    );
+}
+
+#[test]
+fn every_library_crate_root_forbids_unsafe() {
+    // Belt and braces for U1: assert directly against the real crate
+    // roots, independent of rule scoping.
+    let root = workspace_root();
+    let crates = std::fs::read_dir(root.join("crates")).expect("crates dir");
+    let mut checked = 0;
+    for entry in crates.filter_map(Result::ok) {
+        let lib = entry.path().join("src").join("lib.rs");
+        if !lib.is_file() {
+            continue;
+        }
+        let source = std::fs::read_to_string(&lib).expect("readable crate root");
+        let squashed: String = source.chars().filter(|c| !c.is_whitespace()).collect();
+        assert!(
+            squashed.contains("#![forbid(unsafe_code)]"),
+            "{} is missing #![forbid(unsafe_code)]",
+            lib.display()
+        );
+        checked += 1;
+    }
+    assert!(checked >= 8, "only {checked} crate roots found");
+}

@@ -143,6 +143,7 @@ impl McncCircuit {
             .locality_window((self.module_count() / 2).max(4))
             .seed(0x1234_5678 ^ self as u64)
             .generate()
+            // irgrid-lint: allow(P1): parameters are compile-time constants exercised by the benchmark tests
             .expect("benchmark parameters are valid by construction")
     }
 }

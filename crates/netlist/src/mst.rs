@@ -124,6 +124,7 @@ pub fn star_decompose(pins: &[Point]) -> Vec<(Point, Point)> {
         .enumerate()
         .min_by_key(|(i, p)| (p.manhattan_distance(centroid), *i))
         .map(|(i, _)| i)
+        // irgrid-lint: allow(P1): the early return above handles pin lists shorter than two
         .expect("non-empty pin list");
     pins.iter()
         .enumerate()

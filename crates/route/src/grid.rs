@@ -118,6 +118,7 @@ impl RoutingGrid {
         let i = self.h_index(x, y);
         self.h_usage[i] = self.h_usage[i]
             .checked_add_signed(delta)
+            // irgrid-lint: allow(P1): underflow is a router accounting bug; saturating would silently corrupt history costs
             .expect("usage underflow");
     }
 
@@ -125,6 +126,7 @@ impl RoutingGrid {
         let i = self.v_index(x, y);
         self.v_usage[i] = self.v_usage[i]
             .checked_add_signed(delta)
+            // irgrid-lint: allow(P1): underflow is a router accounting bug; saturating would silently corrupt history costs
             .expect("usage underflow");
     }
 

@@ -197,8 +197,7 @@ impl GlobalRouter {
                 // deterministically.
                 other
                     .priority
-                    .partial_cmp(&self.priority)
-                    .expect("finite priorities")
+                    .total_cmp(&self.priority)
                     .then(other.node.cmp(&self.node))
             }
         }
