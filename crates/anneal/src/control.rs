@@ -57,6 +57,7 @@ pub struct RunControl {
     pub(crate) deadline: Option<Instant>,
     pub(crate) cancel: Option<CancelToken>,
     pub(crate) move_budget: Option<u64>,
+    pub(crate) step_budget: Option<usize>,
     pub(crate) checkpoint_every: Option<usize>,
 }
 
@@ -100,6 +101,25 @@ impl RunControl {
         self
     }
 
+    /// Stops the run once `budget` *total* temperature steps have
+    /// completed, always at a step boundary. Counted against
+    /// [`AnnealStats::temperatures`](crate::AnnealStats), so the budget
+    /// spans resumes: resuming a run checkpointed at step `k` with a
+    /// budget of `k + n` runs exactly `n` further steps.
+    ///
+    /// Because the stop lands on a boundary, the engine emits one final
+    /// [`Checkpoint`](crate::Checkpoint) to the run's sink when the
+    /// budget trips (even without a
+    /// [`with_checkpoint_every`](RunControl::with_checkpoint_every)
+    /// cadence). This is the segmentation hook the `irgrid-fleet`
+    /// supervisor uses to interleave replicas: run `n` steps, capture the
+    /// boundary state, exchange, resume.
+    #[must_use]
+    pub fn with_step_budget(mut self, budget: usize) -> RunControl {
+        self.step_budget = Some(budget);
+        self
+    }
+
     /// Emits a [`Checkpoint`](crate::Checkpoint) to the run's checkpoint
     /// sink every `steps` completed temperature steps.
     ///
@@ -132,6 +152,11 @@ impl RunControl {
     pub(crate) fn budget_hit(&self, moves_done: u64) -> bool {
         self.move_budget.is_some_and(|b| moves_done >= b)
     }
+
+    /// Whether the step budget (if any) is exhausted at `steps_done`.
+    pub(crate) fn step_budget_hit(&self, steps_done: usize) -> bool {
+        self.step_budget.is_some_and(|b| steps_done >= b)
+    }
 }
 
 /// Why a controlled annealing run stopped.
@@ -153,6 +178,10 @@ pub enum StopReason {
     /// The total-move budget was exhausted
     /// ([`RunControl::with_move_budget`]).
     MoveBudget,
+    /// The total-temperature-step budget was exhausted
+    /// ([`RunControl::with_step_budget`]); the run stopped exactly at a
+    /// step boundary and emitted a final checkpoint there.
+    StepBudget,
     /// A candidate cost came back non-finite mid-run. The result still
     /// holds the best *finite*-cost state seen; the poisoned candidate
     /// was discarded.
@@ -176,7 +205,10 @@ impl StopReason {
     pub fn is_interrupted(&self) -> bool {
         matches!(
             self,
-            StopReason::Deadline | StopReason::Cancelled | StopReason::MoveBudget
+            StopReason::Deadline
+                | StopReason::Cancelled
+                | StopReason::MoveBudget
+                | StopReason::StepBudget
         )
     }
 }
@@ -190,6 +222,7 @@ impl fmt::Display for StopReason {
             StopReason::Deadline => "wall-clock deadline reached",
             StopReason::Cancelled => "cancelled",
             StopReason::MoveBudget => "move budget exhausted",
+            StopReason::StepBudget => "temperature-step budget exhausted",
             StopReason::CostError => "stopped on non-finite cost",
         };
         f.write_str(text)
@@ -295,6 +328,15 @@ mod tests {
         assert!(!control.deadline_hit());
         assert!(!control.cancel_hit());
         assert!(!control.budget_hit(u64::MAX));
+        assert!(!control.step_budget_hit(usize::MAX));
+    }
+
+    #[test]
+    fn step_budget_trips_at_exact_count() {
+        let control = RunControl::unlimited().with_step_budget(4);
+        assert!(!control.step_budget_hit(3));
+        assert!(control.step_budget_hit(4));
+        assert!(control.step_budget_hit(5));
     }
 
     #[test]
@@ -319,6 +361,8 @@ mod tests {
         assert!(StopReason::Deadline.is_interrupted());
         assert!(StopReason::Cancelled.is_interrupted());
         assert!(StopReason::MoveBudget.is_interrupted());
+        assert!(StopReason::StepBudget.is_interrupted());
+        assert!(!StopReason::StepBudget.is_natural());
         assert!(!StopReason::CostError.is_natural());
         assert!(!StopReason::CostError.is_interrupted());
     }
@@ -332,6 +376,7 @@ mod tests {
             StopReason::Deadline,
             StopReason::Cancelled,
             StopReason::MoveBudget,
+            StopReason::StepBudget,
             StopReason::CostError,
         ] {
             let value = serde::Serialize::to_value(&reason);

@@ -336,6 +336,14 @@ impl Annealer {
             if st.temperature < min_temperature {
                 break StopReason::Converged;
             }
+            if control.step_budget_hit(st.steps_done) {
+                // The budget lands exactly on a step boundary, so the
+                // state here is checkpointable; emit it so a supervisor
+                // can continue the run segment-by-segment without
+                // configuring a cadence.
+                sink(&boundary_checkpoint(self.schedule, seed, &st));
+                break StopReason::StepBudget;
+            }
             if control.cancel_hit() {
                 break StopReason::Cancelled;
             }
@@ -405,21 +413,7 @@ impl Annealer {
 
             if let Some(every) = control.checkpoint_every {
                 if st.steps_done % every == 0 {
-                    sink(&Checkpoint {
-                        version: FORMAT_VERSION,
-                        seed,
-                        schedule: self.schedule,
-                        initial_temperature: st.initial_temperature,
-                        temperature: st.temperature,
-                        steps_done: st.steps_done,
-                        current: st.current.clone(),
-                        current_cost: st.current_cost,
-                        best: st.best.clone(),
-                        best_cost: st.best_cost,
-                        stats: st.stats,
-                        snapshots: st.snapshots.clone(),
-                        rng: st.rng.clone(),
-                    });
+                    sink(&boundary_checkpoint(self.schedule, seed, &st));
                 }
             }
         };
@@ -477,6 +471,32 @@ impl Annealer {
             return Err(AnnealError::InvalidInitialTemperature { temperature });
         }
         Ok(temperature)
+    }
+}
+
+/// The complete engine state at the current temperature-step boundary,
+/// as a resumable [`Checkpoint`]. Used for both cadence emissions and the
+/// final emission when a step budget trips — one constructor, so the two
+/// cannot drift.
+fn boundary_checkpoint<S: Clone>(
+    schedule: Schedule,
+    seed: u64,
+    st: &LoopState<S>,
+) -> Checkpoint<S> {
+    Checkpoint {
+        version: FORMAT_VERSION,
+        seed,
+        schedule,
+        initial_temperature: st.initial_temperature,
+        temperature: st.temperature,
+        steps_done: st.steps_done,
+        current: st.current.clone(),
+        current_cost: st.current_cost,
+        best: st.best.clone(),
+        best_cost: st.best_cost,
+        stats: st.stats,
+        snapshots: st.snapshots.clone(),
+        rng: st.rng.clone(),
     }
 }
 
@@ -656,6 +676,89 @@ mod tests {
         assert_eq!(result.stop_reason, StopReason::MoveBudget);
         assert_eq!(result.best, Bowl.initial_state());
         assert_eq!(result.stats.accepted + result.stats.rejected, 0);
+    }
+
+    #[test]
+    fn step_budget_stops_exactly_at_boundary_with_checkpoint() {
+        let annealer = Annealer::new(Schedule::quick());
+        let mut checkpoints = Vec::new();
+        let result = annealer
+            .run_with_checkpoints(
+                &Bowl,
+                3,
+                &RunControl::unlimited().with_step_budget(7),
+                |c| checkpoints.push(c.clone()),
+            )
+            .expect("finite costs");
+        assert_eq!(result.stop_reason, StopReason::StepBudget);
+        assert_eq!(result.stats.temperatures, 7);
+        // Exactly one checkpoint: the final boundary (no cadence set).
+        assert_eq!(checkpoints.len(), 1);
+        assert_eq!(checkpoints[0].steps_done, 7);
+    }
+
+    #[test]
+    fn segmented_run_is_bit_identical_to_uninterrupted() {
+        let annealer = Annealer::new(Schedule::quick());
+        let uninterrupted = annealer.run(&Bowl, 42);
+
+        // Drive the same run 4 steps at a time through step budgets,
+        // resuming each segment from the previous boundary checkpoint.
+        let mut checkpoint = None;
+        let mut result = annealer
+            .run_with_checkpoints(
+                &Bowl,
+                42,
+                &RunControl::unlimited().with_step_budget(4),
+                |c| checkpoint = Some(c.clone()),
+            )
+            .expect("finite costs");
+        let mut budget = 4;
+        while result.stop_reason == StopReason::StepBudget {
+            budget += 4;
+            let from = checkpoint.take().expect("budget stop emits a checkpoint");
+            result = annealer
+                .resume_with_checkpoints(
+                    &Bowl,
+                    from,
+                    &RunControl::unlimited().with_step_budget(budget),
+                    |c| checkpoint = Some(c.clone()),
+                )
+                .expect("valid checkpoint");
+        }
+        assert_eq!(result.best, uninterrupted.best);
+        assert_eq!(result.best_cost, uninterrupted.best_cost);
+        assert_eq!(result.stats, uninterrupted.stats);
+        assert_eq!(result.stop_reason, uninterrupted.stop_reason);
+    }
+
+    #[test]
+    fn exhausted_step_budget_on_resume_reemits_the_boundary() {
+        let annealer = Annealer::new(Schedule::quick());
+        let mut checkpoint = None;
+        annealer
+            .run_with_checkpoints(
+                &Bowl,
+                5,
+                &RunControl::unlimited().with_step_budget(3),
+                |c| checkpoint = Some(c.clone()),
+            )
+            .expect("finite costs");
+        let from = checkpoint.clone().expect("one checkpoint");
+        // Resuming with the budget already met runs zero steps and hands
+        // the same boundary back.
+        let mut reemitted = None;
+        let result = annealer
+            .resume_with_checkpoints(
+                &Bowl,
+                from.clone(),
+                &RunControl::unlimited().with_step_budget(3),
+                |c| reemitted = Some(c.clone()),
+            )
+            .expect("valid checkpoint");
+        assert_eq!(result.stop_reason, StopReason::StepBudget);
+        assert_eq!(result.stats.temperatures, 3);
+        assert_eq!(reemitted.expect("boundary re-emitted"), from);
     }
 
     #[test]

@@ -6,7 +6,8 @@ use std::time::{Duration, Instant};
 
 use irgrid::anneal::{Annealer, Checkpoint, RunControl, Schedule, StopReason};
 use irgrid::congestion::{CongestionModel, FixedGridModel, RetainedCongestion};
-use irgrid::floorplanner::{FloorplanEval, FloorplanProblem, Weights};
+use irgrid::fleet::pool;
+use irgrid::floorplanner::{FloorplanEval, FloorplanProblem, FloorplanSpec, Weights};
 use irgrid::geom::Um;
 use irgrid::netlist::Circuit;
 
@@ -71,6 +72,9 @@ pub struct Mode {
     pub schedule: Schedule,
     /// Label printed in headers.
     pub label: &'static str,
+    /// Worker threads for per-seed batches (`--jobs N`); 1 keeps the
+    /// original single-threaded execution byte for byte.
+    pub jobs: usize,
     /// Deadline / checkpoint / resume options.
     pub fault: FaultOptions,
 }
@@ -82,6 +86,7 @@ impl Mode {
             seeds: 2,
             schedule: Schedule::quick(),
             label: "quick (2 seeds, short schedule)",
+            jobs: 1,
             fault: FaultOptions::default(),
         }
     }
@@ -97,6 +102,7 @@ impl Mode {
                 ..Schedule::default()
             },
             label: "standard (3 seeds, medium schedule)",
+            jobs: 1,
             fault: FaultOptions::default(),
         }
     }
@@ -107,12 +113,13 @@ impl Mode {
             seeds: 20,
             schedule: Schedule::default(),
             label: "full (20 seeds, classic schedule)",
+            jobs: 1,
             fault: FaultOptions::default(),
         }
     }
 
-    /// Parses `--quick` / `--full` flags (default standard) plus the
-    /// fault-tolerance flags `--time-limit <seconds>`,
+    /// Parses `--quick` / `--full` flags (default standard) plus
+    /// `--jobs <n>` and the fault-tolerance flags `--time-limit <seconds>`,
     /// `--checkpoint <dir>`, and `--resume <dir>`.
     pub fn from_args(args: &[String]) -> Mode {
         let mut mode = if args.iter().any(|a| a == "--quick") {
@@ -122,6 +129,15 @@ impl Mode {
         } else {
             Mode::standard()
         };
+        if let Some(text) = flag_value(args, "--jobs") {
+            let jobs: usize = text
+                .parse()
+                .unwrap_or_else(|_| die(&format!("--jobs `{text}` is not a count")));
+            if jobs == 0 {
+                die("--jobs must be at least 1");
+            }
+            mode.jobs = jobs;
+        }
         mode.fault = FaultOptions {
             deadline: flag_value(args, "--time-limit").map(|text| {
                 let seconds: f64 = text
@@ -181,8 +197,106 @@ pub struct RunOutcome {
     pub eval: FloorplanEval,
 }
 
+/// The per-batch fixtures shared by every seeded run: the annealer, its
+/// run control, the fault options, the judging model, and the batch's
+/// `(pitch, weights)` identity for checkpoint-file naming.
+struct SeedRunner {
+    annealer: Annealer,
+    control: RunControl,
+    fault: FaultOptions,
+    judging: FixedGridModel,
+    pitch: Um,
+    weights: Weights,
+}
+
+impl SeedRunner {
+    /// One per-seed annealing run: checkpoint sink, optional resume,
+    /// anneal, judge. Returns `None` (after a stderr warning) on a typed
+    /// [`AnnealError`]; otherwise the outcome plus the stop reason and
+    /// the number of temperature steps actually run (used by the parallel
+    /// path to drop seeds the deadline prevented from ever starting).
+    ///
+    /// [`AnnealError`]: irgrid::anneal::AnnealError
+    fn run_seed<M: RetainedCongestion>(
+        &self,
+        problem: &FloorplanProblem<'_, M>,
+        seed: u64,
+    ) -> Option<(RunOutcome, StopReason, usize)> {
+        let circuit = problem.circuit();
+        let start = Instant::now();
+        let checkpoint_path = self.fault.checkpoint_dir.map(|dir| {
+            let path = FaultOptions::checkpoint_file(dir, circuit, self.pitch, self.weights, seed);
+            if let Some(parent) = path.parent() {
+                let _ = std::fs::create_dir_all(parent);
+            }
+            path
+        });
+        let mut sink = |checkpoint: &Checkpoint<irgrid::floorplan::PolishExpr>| {
+            if let Some(path) = &checkpoint_path {
+                if let Err(err) = checkpoint.write_file(path) {
+                    eprintln!("warning: {err}");
+                }
+            }
+        };
+
+        let resumed_from = self
+            .fault
+            .resume_dir
+            .map(|dir| FaultOptions::checkpoint_file(dir, circuit, self.pitch, self.weights, seed));
+        let run = match resumed_from.filter(|path| path.exists()) {
+            Some(path) => match Checkpoint::read_file(&path) {
+                Ok(checkpoint) => self.annealer.resume_with_checkpoints(
+                    problem,
+                    checkpoint,
+                    &self.control,
+                    &mut sink,
+                ),
+                Err(err) => {
+                    eprintln!("warning: ignoring checkpoint {}: {err}", path.display());
+                    self.annealer
+                        .run_with_checkpoints(problem, seed, &self.control, &mut sink)
+                }
+            },
+            None => self
+                .annealer
+                .run_with_checkpoints(problem, seed, &self.control, &mut sink),
+        };
+        let result = match run {
+            Ok(result) => result,
+            Err(err) => {
+                eprintln!("warning: seed {seed} on {}: {err}", circuit.name());
+                return None;
+            }
+        };
+
+        let time_s = start.elapsed().as_secs_f64();
+        let eval = problem.evaluate(&result.best);
+        let judging_cost = self
+            .judging
+            .evaluate(&eval.placement.chip(), &eval.segments);
+        let outcome = RunOutcome {
+            seed,
+            anneal_cost: result.best_cost,
+            area_mm2: eval.area_um2 / 1e6,
+            wire_um: eval.wirelength_um,
+            time_s,
+            model_cost: eval.congestion,
+            judging_cost,
+            eval,
+        };
+        Some((outcome, result.stop_reason, result.stats.temperatures))
+    }
+}
+
 /// Runs the annealing floorplanner once per seed and judges every final
 /// floorplan with the 10 µm fixed-grid judging model.
+///
+/// With `mode.jobs > 1` the seeds are fanned out over a deterministic
+/// worker pool ([`irgrid::fleet::pool`]); each worker builds its own
+/// problem instance from a [`FloorplanSpec`], so per-seed results are
+/// bit-identical to the single-threaded run (each seeded run is
+/// self-contained) apart from wall-clock `time_s`. With the default
+/// `jobs = 1` the original sequential loop runs unchanged.
 ///
 /// Honors the mode's [`FaultOptions`]: runs stop at the shared deadline
 /// (remaining seeds are skipped), write checkpoints on a cadence when a
@@ -199,69 +313,62 @@ pub fn run_batch<M>(
     mode: &Mode,
 ) -> Vec<RunOutcome>
 where
-    M: RetainedCongestion + Clone,
+    M: RetainedCongestion + Clone + Sync,
 {
-    let judging = FixedGridModel::judging();
-    let problem = FloorplanProblem::new(circuit, pitch, weights, model);
-    let annealer = Annealer::new(mode.schedule);
-    let control = mode.fault.control();
+    let runner = SeedRunner {
+        annealer: Annealer::new(mode.schedule),
+        control: mode.fault.control(),
+        fault: mode.fault,
+        judging: FixedGridModel::judging(),
+        pitch,
+        weights,
+    };
 
+    if mode.jobs > 1 {
+        let spec: FloorplanSpec<'_, M> = FloorplanSpec::new(circuit, pitch, weights, model)
+            .unwrap_or_else(|err| {
+                die(&format!(
+                    "invalid floorplan configuration for {}: {err}",
+                    circuit.name()
+                ))
+            });
+        let seeds: Vec<u64> = (0..mode.seeds).collect();
+        let results = pool::run_ordered(
+            mode.jobs,
+            seeds,
+            |_| spec.build(),
+            |problem, _, seed| runner.run_seed(problem, seed),
+        );
+        let mut outcomes = Vec::new();
+        let mut deadline_hit = false;
+        for (outcome, stop, temperatures) in results.into_iter().flatten() {
+            if stop == StopReason::Deadline {
+                deadline_hit = true;
+                // A seed the deadline stopped before its first temperature
+                // step is one the sequential loop would never have started.
+                if temperatures == 0 {
+                    continue;
+                }
+            }
+            outcomes.push(outcome);
+        }
+        if deadline_hit {
+            eprintln!(
+                "time limit reached on {}; partial results kept",
+                circuit.name()
+            );
+        }
+        return outcomes;
+    }
+
+    let problem = FloorplanProblem::new(circuit, pitch, weights, model);
     let mut outcomes = Vec::new();
     for seed in 0..mode.seeds {
-        let start = Instant::now();
-        let checkpoint_path = mode.fault.checkpoint_dir.map(|dir| {
-            let path = FaultOptions::checkpoint_file(dir, circuit, pitch, weights, seed);
-            if let Some(parent) = path.parent() {
-                let _ = std::fs::create_dir_all(parent);
-            }
-            path
-        });
-        let mut sink = |checkpoint: &Checkpoint<irgrid::floorplan::PolishExpr>| {
-            if let Some(path) = &checkpoint_path {
-                if let Err(err) = checkpoint.write_file(path) {
-                    eprintln!("warning: {err}");
-                }
-            }
+        let Some((outcome, stop, _)) = runner.run_seed(&problem, seed) else {
+            continue;
         };
-
-        let resumed_from = mode
-            .fault
-            .resume_dir
-            .map(|dir| FaultOptions::checkpoint_file(dir, circuit, pitch, weights, seed));
-        let run = match resumed_from.filter(|path| path.exists()) {
-            Some(path) => match Checkpoint::read_file(&path) {
-                Ok(checkpoint) => {
-                    annealer.resume_with_checkpoints(&problem, checkpoint, &control, &mut sink)
-                }
-                Err(err) => {
-                    eprintln!("warning: ignoring checkpoint {}: {err}", path.display());
-                    annealer.run_with_checkpoints(&problem, seed, &control, &mut sink)
-                }
-            },
-            None => annealer.run_with_checkpoints(&problem, seed, &control, &mut sink),
-        };
-        let result = match run {
-            Ok(result) => result,
-            Err(err) => {
-                eprintln!("warning: seed {seed} on {}: {err}", circuit.name());
-                continue;
-            }
-        };
-
-        let time_s = start.elapsed().as_secs_f64();
-        let eval = problem.evaluate(&result.best);
-        let judging_cost = judging.evaluate(&eval.placement.chip(), &eval.segments);
-        outcomes.push(RunOutcome {
-            seed,
-            anneal_cost: result.best_cost,
-            area_mm2: eval.area_um2 / 1e6,
-            wire_um: eval.wirelength_um,
-            time_s,
-            model_cost: eval.congestion,
-            judging_cost,
-            eval,
-        });
-        if result.stop_reason == StopReason::Deadline {
+        outcomes.push(outcome);
+        if stop == StopReason::Deadline {
             eprintln!(
                 "time limit reached during seed {seed} on {}; skipping remaining seeds",
                 circuit.name()
@@ -339,6 +446,49 @@ mod tests {
             Mode::from_args(&args(&["table1"])).seeds,
             Mode::standard().seeds
         );
+        assert_eq!(Mode::from_args(&args(&["table1"])).jobs, 1);
+        assert_eq!(Mode::from_args(&args(&["--quick", "--jobs", "4"])).jobs, 4);
+    }
+
+    #[test]
+    fn parallel_batch_matches_sequential_results() {
+        let circuit = CircuitGenerator::new("par", 6, 10)
+            .seed(2)
+            .generate()
+            .expect("valid");
+        let sequential = Mode {
+            seeds: 3,
+            schedule: irgrid::anneal::Schedule::quick(),
+            label: "test",
+            jobs: 1,
+            fault: FaultOptions::default(),
+        };
+        let parallel = Mode {
+            jobs: 3,
+            ..sequential
+        };
+        let a = run_batch(
+            &circuit,
+            Um(30),
+            Weights::area_wire(),
+            None::<IrregularGridModel>,
+            &sequential,
+        );
+        let b = run_batch(
+            &circuit,
+            Um(30),
+            Weights::area_wire(),
+            None::<IrregularGridModel>,
+            &parallel,
+        );
+        assert_eq!(a.len(), b.len());
+        for (s, p) in a.iter().zip(&b) {
+            assert_eq!(s.seed, p.seed);
+            assert_eq!(s.anneal_cost.to_bits(), p.anneal_cost.to_bits());
+            assert_eq!(s.judging_cost.to_bits(), p.judging_cost.to_bits());
+            assert_eq!(s.area_mm2.to_bits(), p.area_mm2.to_bits());
+            assert_eq!(s.wire_um.to_bits(), p.wire_um.to_bits());
+        }
     }
 
     #[test]
@@ -358,6 +508,7 @@ mod tests {
             seeds: 3,
             schedule: irgrid::anneal::Schedule::quick(),
             label: "test",
+            jobs: 1,
             fault: FaultOptions::default(),
         };
         let outcomes = run_batch(

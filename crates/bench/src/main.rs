@@ -17,17 +17,30 @@
 //!   sweep       Pitch-sensitivity sweep of the IR model (extension)
 //!   validate    Router-validation correlations (extension)
 //!   congestion-perf  Retained-evaluator throughput report (BENCH_congestion.json)
-//!   all         Everything above (except congestion-perf)
+//!   fleet       Multi-replica annealing via irgrid-fleet (BENCH_fleet.json)
+//!   all         Everything above (except congestion-perf and fleet)
 //!
 //! flags:
 //!   --quick           2 seeds, short schedule (smoke run)
 //!   --full            20 seeds, classic schedule (paper protocol)
 //!   --circuit X       restrict exp1 to one circuit (apte/xerox/hp/ami33/ami49)
+//!   --jobs N          run seeded batches / fleet replicas over N worker
+//!                     threads (default 1; results are bit-identical)
 //!   --time-limit S    stop annealing after S seconds (partial results kept)
 //!   --checkpoint DIR  write per-run checkpoints into DIR every 10 steps
 //!   --resume DIR      resume runs from matching checkpoints in DIR
+//!                     (for fleet: resume from the fleet manifest in DIR)
 //!   --threads N       congestion-perf: benchmark N threads instead of 2 and 4
-//!   --out FILE        congestion-perf: report path (default BENCH_congestion.json)
+//!   --out FILE        report path (congestion-perf, fleet)
+//!
+//! fleet flags:
+//!   --replicas N        annealing replicas (default 4)
+//!   --sync-every N      temperature steps between exchange barriers
+//!   --seed0 N           seed of replica 0 (replica k anneals with seed0+k)
+//!   --independent       disable temperature-ladder replica exchange
+//!   --run-dir DIR       persist manifest + telemetry into DIR
+//!   --verify-identical  re-run a 1-worker reference fleet and record
+//!                       `bit_identical` in the report
 //! ```
 
 mod ablation;
@@ -36,6 +49,7 @@ mod exp1;
 mod exp3;
 mod figure8;
 mod figure9;
+mod fleet;
 mod heatmap;
 mod motivation;
 mod perf;
@@ -97,6 +111,16 @@ fn main() {
         "ablation" => ablation::run(single),
         "heatmap" => heatmap::run(single),
         "sweep" => sweep::run(single),
+        "fleet" => {
+            // Fleet smoke runs default to the smallest circuit unless one
+            // was picked explicitly with --circuit.
+            let fleet_circuit = circuits
+                .first()
+                .copied()
+                .filter(|_| circuits.len() == 1)
+                .unwrap_or(McncCircuit::Apte);
+            fleet::run(&mode, fleet_circuit, &args);
+        }
         "congestion-perf" => {
             // Perf runs default to the largest circuit unless one was
             // picked explicitly with --circuit.

@@ -1,0 +1,261 @@
+//! Temperature-ladder replica exchange at round barriers.
+//!
+//! Replicas running the same geometric schedule from different seeds sit
+//! at different temperatures because the adaptive initial temperature
+//! (Wong–Liu estimate) is seeded per replica — the fleet's replicas form
+//! a natural ladder without any engine change. At each round barrier the
+//! supervisor pairs adjacent live replicas and applies the standard
+//! parallel-tempering Metropolis test: states at temperatures `T_a ≥ T_b`
+//! with costs `C_a`, `C_b` swap with probability
+//! `min(1, exp((1/T_b − 1/T_a) · (C_b − C_a)))`, which preserves each
+//! rung's equilibrium distribution while letting good states migrate to
+//! cold rungs.
+//!
+//! # Determinism
+//!
+//! Exchange runs on the supervisor thread only, in fixed index order,
+//! and **always** draws exactly one uniform variate per candidate pair —
+//! even for forced swaps — so the exchange RNG's consumption schedule is
+//! a function of the replica phases alone, never of worker timing.
+
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::replica::ReplicaRecord;
+
+/// One recorded exchange attempt between adjacent replicas.
+///
+/// The trace of all decisions is part of the fleet outcome and must be
+/// bit-identical across worker counts and resumes; every field is either
+/// integral or copied verbatim from checkpoint state.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExchangeDecision {
+    /// The round barrier at which the attempt happened.
+    pub round: usize,
+    /// Lower-indexed replica of the pair.
+    pub lower: usize,
+    /// Higher-indexed replica of the pair (`lower + 1`).
+    pub upper: usize,
+    /// Current walker cost of `lower` before the attempt.
+    pub cost_lower: f64,
+    /// Current walker cost of `upper` before the attempt.
+    pub cost_upper: f64,
+    /// Temperature of `lower` at the barrier.
+    pub temp_lower: f64,
+    /// Temperature of `upper` at the barrier.
+    pub temp_upper: f64,
+    /// The uniform variate drawn for the Metropolis test.
+    pub unit: f64,
+    /// Whether the walkers swapped.
+    pub accepted: bool,
+}
+
+/// The parallel-tempering acceptance probability for swapping states at
+/// temperatures `temp_a`/`temp_b` with costs `cost_a`/`cost_b`.
+///
+/// Symmetric in its pair arguments; saturates at 1 for favorable swaps.
+#[must_use]
+pub(crate) fn swap_probability(temp_a: f64, cost_a: f64, temp_b: f64, cost_b: f64) -> f64 {
+    let delta = (1.0 / temp_a - 1.0 / temp_b) * (cost_a - cost_b);
+    delta.exp().min(1.0)
+}
+
+/// Attempts exchanges between adjacent live replicas for `round`.
+///
+/// Pairs `(i, i+1)` starting at `round % 2` and stepping by two, so
+/// successive rounds alternate even and odd pairings and every adjacent
+/// pair is attempted every other round. A pair is skipped (with no RNG
+/// draw) unless **both** replicas are `Active`; for eligible pairs one
+/// uniform variate is always drawn, accepted or not.
+///
+/// On acceptance the two checkpoints trade `current`/`current_cost` —
+/// RNG streams, step counts, temperatures, statistics, and best-so-far
+/// stay put, so each rung keeps its own schedule position while the
+/// walkers migrate. If a migrated walker beats its new rung's best, the
+/// best is refreshed (the global fleet best can only improve).
+pub(crate) fn exchange_round<S: Clone>(
+    rng: &mut ChaCha8Rng,
+    round: usize,
+    records: &mut [ReplicaRecord<S>],
+) -> Vec<ExchangeDecision> {
+    let mut decisions = Vec::new();
+    let mut lower = round % 2;
+    while lower + 1 < records.len() {
+        let upper = lower + 1;
+        let eligible = records[lower].phase.checkpoint().is_some()
+            && records[upper].phase.checkpoint().is_some();
+        if !eligible {
+            lower += 2;
+            continue;
+        }
+        let (head, tail) = records.split_at_mut(upper);
+        let (Some(lo), Some(hi)) = (
+            head[lower].phase.checkpoint_mut(),
+            tail[0].phase.checkpoint_mut(),
+        ) else {
+            lower += 2;
+            continue;
+        };
+
+        let unit: f64 = rng.gen();
+        let probability = swap_probability(
+            lo.temperature,
+            lo.current_cost,
+            hi.temperature,
+            hi.current_cost,
+        );
+        let accepted = unit < probability;
+        let decision = ExchangeDecision {
+            round,
+            lower,
+            upper,
+            cost_lower: lo.current_cost,
+            cost_upper: hi.current_cost,
+            temp_lower: lo.temperature,
+            temp_upper: hi.temperature,
+            unit,
+            accepted,
+        };
+        if accepted {
+            std::mem::swap(&mut lo.current, &mut hi.current);
+            std::mem::swap(&mut lo.current_cost, &mut hi.current_cost);
+            for side in [&mut *lo, &mut *hi] {
+                if side.current_cost < side.best_cost {
+                    side.best = side.current.clone();
+                    side.best_cost = side.current_cost;
+                }
+            }
+        }
+        decisions.push(decision);
+        lower += 2;
+    }
+    decisions
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::replica::ReplicaPhase;
+    use irgrid_anneal::{AnnealStats, Checkpoint, Schedule, StopReason, FORMAT_VERSION};
+    use rand::SeedableRng;
+
+    fn active(seed: u64, temperature: f64, current: i64, current_cost: f64) -> ReplicaRecord<i64> {
+        ReplicaRecord {
+            seed,
+            phase: ReplicaPhase::Active(Checkpoint {
+                version: FORMAT_VERSION,
+                seed,
+                schedule: Schedule::quick(),
+                initial_temperature: temperature,
+                temperature,
+                steps_done: 5,
+                current,
+                current_cost,
+                best: current,
+                best_cost: current_cost,
+                stats: AnnealStats::default(),
+                rng: rand_chacha::ChaCha8Rng::seed_from_u64(seed),
+                snapshots: Vec::new(),
+            }),
+        }
+    }
+
+    fn finished(seed: u64) -> ReplicaRecord<i64> {
+        ReplicaRecord {
+            seed,
+            phase: ReplicaPhase::Finished {
+                reason: StopReason::Converged,
+                best: 0,
+                best_cost: 0.0,
+                stats: AnnealStats::default(),
+            },
+        }
+    }
+
+    #[test]
+    fn favorable_swap_always_accepts() {
+        // Cold replica holds the worse state: swapping is always accepted
+        // (probability saturates at 1).
+        let mut records = vec![active(0, 100.0, 10, 5.0), active(1, 1.0, 90, 50.0)];
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
+        let decisions = exchange_round(&mut rng, 0, &mut records);
+        assert_eq!(decisions.len(), 1);
+        assert!(decisions[0].accepted);
+        let lo = records[0].phase.checkpoint().expect("active");
+        let hi = records[1].phase.checkpoint().expect("active");
+        assert_eq!(lo.current, 90);
+        assert_eq!(hi.current, 10);
+        // The cold rung inherited a better walker and refreshed its best.
+        assert_eq!(hi.best_cost.to_bits(), 5.0f64.to_bits());
+        // RNG streams and schedule positions stayed with their rungs.
+        assert_eq!(lo.temperature.to_bits(), 100.0f64.to_bits());
+        assert_eq!(hi.temperature.to_bits(), 1.0f64.to_bits());
+    }
+
+    #[test]
+    fn pairings_alternate_by_round_parity() {
+        let mut records: Vec<_> = (0..4).map(|k| active(k, 10.0, 0, 1.0)).collect();
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
+        let even = exchange_round(&mut rng, 0, &mut records);
+        assert_eq!(
+            even.iter().map(|d| (d.lower, d.upper)).collect::<Vec<_>>(),
+            vec![(0, 1), (2, 3)]
+        );
+        let odd = exchange_round(&mut rng, 1, &mut records);
+        assert_eq!(
+            odd.iter().map(|d| (d.lower, d.upper)).collect::<Vec<_>>(),
+            vec![(1, 2)]
+        );
+    }
+
+    #[test]
+    fn finished_replicas_are_skipped_without_consuming_rng() {
+        let mut with_gap = vec![
+            active(0, 10.0, 0, 1.0),
+            finished(1),
+            active(2, 10.0, 0, 1.0),
+        ];
+        let mut rng_a = rand_chacha::ChaCha8Rng::seed_from_u64(7);
+        let decisions = exchange_round(&mut rng_a, 0, &mut with_gap);
+        assert!(decisions.is_empty());
+        // The skipped pair drew nothing: the stream equals a fresh one.
+        let mut rng_b = rand_chacha::ChaCha8Rng::seed_from_u64(7);
+        let a: f64 = rng_a.gen();
+        let b: f64 = rng_b.gen();
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+
+    #[test]
+    fn identical_pair_swap_probability_is_one() {
+        // Equal temperatures or equal costs give delta = 0 → p = 1.
+        assert_eq!(
+            swap_probability(5.0, 3.0, 5.0, 9.0).to_bits(),
+            1.0f64.to_bits()
+        );
+        assert_eq!(
+            swap_probability(2.0, 4.0, 8.0, 4.0).to_bits(),
+            1.0f64.to_bits()
+        );
+        // Hot replica already holds the worse state: p < 1.
+        assert!(swap_probability(10.0, 50.0, 1.0, 5.0) < 1.0);
+    }
+
+    #[test]
+    fn decision_survives_serde() {
+        let decision = ExchangeDecision {
+            round: 3,
+            lower: 1,
+            upper: 2,
+            cost_lower: 12.5,
+            cost_upper: 8.25,
+            temp_lower: 4.0,
+            temp_upper: 2.0,
+            unit: 0.625,
+            accepted: true,
+        };
+        let value = Serialize::to_value(&decision);
+        let back: ExchangeDecision = Deserialize::from_value(&value).expect("roundtrip");
+        assert_eq!(decision, back);
+    }
+}

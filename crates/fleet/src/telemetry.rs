@@ -1,0 +1,271 @@
+//! The fleet's deterministic telemetry stream.
+//!
+//! Every orchestration effect — replicas starting, checkpointing,
+//! exchanging, stopping, the fleet completing — is recorded as a
+//! [`FleetEvent`]. The sequence is part of the determinism contract:
+//! events carry **no** worker identities, timestamps, or file paths, so
+//! the stream is bit-identical for any worker count and across resumes.
+//! When a run directory is configured the stream is additionally
+//! mirrored to a JSONL file (one compact JSON object per line) for
+//! offline inspection; the manifest, not the JSONL file, is the crash
+//! recovery source of truth.
+
+use std::fs;
+use std::io::{BufWriter, Write as _};
+use std::path::Path;
+
+use irgrid_anneal::StopReason;
+use serde::{Deserialize, Serialize};
+
+use crate::config::{ExchangeMode, FleetError};
+use crate::exchange::ExchangeDecision;
+
+/// One deterministic orchestration event.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum FleetEvent {
+    /// The fleet began (or resumed toward) a run with these parameters.
+    /// Emitted exactly once per run, never on resume.
+    FleetStarted {
+        /// Number of replicas.
+        replicas: usize,
+        /// Replica interaction mode.
+        mode: ExchangeMode,
+        /// First replica seed.
+        seed0: u64,
+        /// Steps per synchronization round.
+        sync_every: usize,
+    },
+    /// A replica ran its first segment this fleet.
+    ReplicaStarted {
+        /// Replica index.
+        replica: usize,
+        /// Its annealing seed.
+        seed: u64,
+    },
+    /// A replica committed a round boundary and remains active.
+    ReplicaCheckpointed {
+        /// The round that just committed (0-based).
+        round: usize,
+        /// Replica index.
+        replica: usize,
+        /// Total temperature steps the replica has completed.
+        steps: usize,
+        /// The temperature its next step will run at.
+        temperature: f64,
+        /// Its current walker cost at the boundary.
+        current_cost: f64,
+        /// Its best cost so far.
+        best_cost: f64,
+        /// Cumulative accepted moves.
+        accepted: usize,
+        /// Cumulative rejected moves.
+        rejected: usize,
+    },
+    /// An exchange attempt between adjacent replicas.
+    Exchange(ExchangeDecision),
+    /// A replica stopped for a terminal reason.
+    ReplicaStopped {
+        /// Replica index.
+        replica: usize,
+        /// Why it stopped.
+        reason: StopReason,
+        /// Its final best cost.
+        best_cost: f64,
+        /// Total temperature steps it ran.
+        temperatures: usize,
+    },
+    /// Every replica reached a terminal phase; the fleet is complete.
+    /// Emitted exactly once per fleet, even across resumes.
+    FleetCompleted {
+        /// Rounds committed over the fleet's whole lifetime.
+        rounds: usize,
+        /// Index of the winning replica.
+        best_replica: usize,
+        /// The winning cost.
+        best_cost: f64,
+    },
+}
+
+/// An in-memory event log, optionally mirrored to a JSONL file.
+#[derive(Debug)]
+pub struct TelemetryLog {
+    events: Vec<FleetEvent>,
+    writer: Option<BufWriter<fs::File>>,
+    path: Option<String>,
+}
+
+impl TelemetryLog {
+    /// A log that only accumulates events in memory.
+    #[must_use]
+    pub fn in_memory() -> TelemetryLog {
+        TelemetryLog {
+            events: Vec::new(),
+            writer: None,
+            path: None,
+        }
+    }
+
+    /// A log mirrored to the JSONL file at `path`, seeded with `history`
+    /// (the events recovered from a manifest on resume). The file is
+    /// rewritten from the history so it always holds the full stream,
+    /// even when the previous process died mid-line.
+    pub fn with_history(path: &Path, history: Vec<FleetEvent>) -> Result<TelemetryLog, FleetError> {
+        let display = path.display().to_string();
+        let io = |source| FleetError::Io {
+            path: display.clone(),
+            source,
+        };
+        let mut writer = BufWriter::new(fs::File::create(path).map_err(io)?);
+        for event in &history {
+            write_line(&mut writer, event).map_err(io)?;
+        }
+        Ok(TelemetryLog {
+            events: history,
+            writer: Some(writer),
+            path: Some(display),
+        })
+    }
+
+    /// Appends one event to the log (and its JSONL mirror, if any).
+    pub fn record(&mut self, event: FleetEvent) -> Result<(), FleetError> {
+        if let Some(writer) = self.writer.as_mut() {
+            write_line(writer, &event).map_err(|source| FleetError::Io {
+                path: self.path.clone().unwrap_or_default(),
+                source,
+            })?;
+        }
+        self.events.push(event);
+        Ok(())
+    }
+
+    /// Flushes the JSONL mirror (called at round commits).
+    pub fn flush(&mut self) -> Result<(), FleetError> {
+        if let Some(writer) = self.writer.as_mut() {
+            writer.flush().map_err(|source| FleetError::Io {
+                path: self.path.clone().unwrap_or_default(),
+                source,
+            })?;
+        }
+        Ok(())
+    }
+
+    /// The full event sequence so far.
+    #[must_use]
+    pub fn events(&self) -> &[FleetEvent] {
+        &self.events
+    }
+
+    /// Consumes the log, returning the event sequence.
+    #[must_use]
+    pub fn into_events(self) -> Vec<FleetEvent> {
+        self.events
+    }
+}
+
+fn write_line(writer: &mut BufWriter<fs::File>, event: &FleetEvent) -> std::io::Result<()> {
+    // irgrid-lint: allow(P1): serializing a plain owned data struct cannot fail
+    let line = serde_json::to_string(event).expect("telemetry serialization is infallible");
+    writer.write_all(line.as_bytes())?;
+    writer.write_all(b"\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_events() -> Vec<FleetEvent> {
+        vec![
+            FleetEvent::FleetStarted {
+                replicas: 2,
+                mode: ExchangeMode::Ladder,
+                seed0: 0,
+                sync_every: 5,
+            },
+            FleetEvent::ReplicaStarted {
+                replica: 0,
+                seed: 0,
+            },
+            FleetEvent::ReplicaCheckpointed {
+                round: 0,
+                replica: 0,
+                steps: 5,
+                temperature: 3.5,
+                current_cost: 12.0,
+                best_cost: 10.0,
+                accepted: 40,
+                rejected: 60,
+            },
+            FleetEvent::Exchange(ExchangeDecision {
+                round: 0,
+                lower: 0,
+                upper: 1,
+                cost_lower: 12.0,
+                cost_upper: 9.0,
+                temp_lower: 3.5,
+                temp_upper: 1.5,
+                unit: 0.25,
+                accepted: false,
+            }),
+            FleetEvent::ReplicaStopped {
+                replica: 0,
+                reason: StopReason::Converged,
+                best_cost: 10.0,
+                temperatures: 37,
+            },
+            FleetEvent::FleetCompleted {
+                rounds: 8,
+                best_replica: 0,
+                best_cost: 10.0,
+            },
+        ]
+    }
+
+    #[test]
+    fn every_event_survives_serde() {
+        for event in sample_events() {
+            let value = Serialize::to_value(&event);
+            let back: FleetEvent = Deserialize::from_value(&value).expect("roundtrip");
+            assert_eq!(event, back);
+        }
+    }
+
+    #[test]
+    fn jsonl_mirror_holds_one_compact_line_per_event() {
+        let dir = std::env::temp_dir().join("irgrid_fleet_telemetry_test");
+        fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("telemetry.jsonl");
+
+        let history = sample_events();
+        let mut log = TelemetryLog::with_history(&path, history[..2].to_vec()).expect("open");
+        for event in &history[2..] {
+            log.record(event.clone()).expect("record");
+        }
+        log.flush().expect("flush");
+        assert_eq!(log.events(), &history[..]);
+
+        let text = fs::read_to_string(&path).expect("read back");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), history.len());
+        for (line, event) in lines.iter().zip(&history) {
+            assert!(!line.contains('\n'));
+            let back: FleetEvent = serde_json::from_str(line).expect("line parses");
+            assert_eq!(back, *event);
+        }
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn with_history_rewrites_a_torn_file() {
+        let dir = std::env::temp_dir().join("irgrid_fleet_telemetry_torn");
+        fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("telemetry.jsonl");
+        fs::write(&path, "{\"truncated\":").expect("seed torn file");
+
+        let history = sample_events();
+        let mut log = TelemetryLog::with_history(&path, history.clone()).expect("open");
+        log.flush().expect("flush");
+        let text = fs::read_to_string(&path).expect("read back");
+        assert_eq!(text.lines().count(), history.len());
+        fs::remove_dir_all(&dir).ok();
+    }
+}

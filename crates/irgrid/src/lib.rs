@@ -9,6 +9,8 @@
 //! * [`floorplan`] — normalized Polish expressions, packing, pins,
 //!   wirelength ([`irgrid_floorplan`]);
 //! * [`anneal`] — the simulated-annealing engine ([`irgrid_anneal`]);
+//! * [`fleet`] — deterministic multi-replica annealing orchestration
+//!   ([`irgrid_fleet`]);
 //! * [`congestion`] — the fixed-grid baseline and the Irregular-Grid
 //!   model ([`irgrid_core`]);
 //! * [`floorplanner`] — the composition: a routability-driven annealing
@@ -70,6 +72,14 @@ pub mod floorplan {
 /// Simulated annealing (re-export of [`irgrid_anneal`]).
 pub mod anneal {
     pub use irgrid_anneal::*;
+}
+
+/// Deterministic multi-replica annealing orchestration (re-export of
+/// [`irgrid_fleet`]): worker pools, temperature-ladder exchange, crash
+/// recovery, and run telemetry. Pairs with
+/// [`floorplanner::FloorplanSpec`] as the per-worker problem factory.
+pub mod fleet {
+    pub use irgrid_fleet::*;
 }
 
 /// Congestion models (re-export of [`irgrid_core`]).

@@ -2,7 +2,7 @@
 //!
 //! | ID | Name          | Default scope                                   |
 //! |----|---------------|-------------------------------------------------|
-//! | D1 | determinism   | cost crates: `core`, `floorplan`, `anneal`, `irgrid` |
+//! | D1 | determinism   | cost crates: `core`, `floorplan`, `anneal`, `fleet`, `irgrid` |
 //! | D2 | float-reduce  | cost crates, minus the `core/src/num/` allowlist |
 //! | P1 | panic-policy  | every library crate's `src/`                     |
 //! | C1 | cast-audit    | `core/src/fixed.rs` and `core/src/num/`          |
@@ -46,6 +46,7 @@ const COST_CRATE_PREFIXES: &[&str] = &[
     "crates/core/src/",
     "crates/floorplan/src/",
     "crates/anneal/src/",
+    "crates/fleet/src/",
     "crates/irgrid/src/",
 ];
 
@@ -59,6 +60,7 @@ const LIBRARY_CRATE_PREFIXES: &[&str] = &[
     "crates/anneal/src/",
     "crates/core/src/",
     "crates/route/src/",
+    "crates/fleet/src/",
     "crates/irgrid/src/",
     "crates/lint/src/",
 ];
