@@ -139,22 +139,31 @@ impl RunControl {
     }
 
     /// Whether the deadline (if any) has passed.
-    pub(crate) fn deadline_hit(&self) -> bool {
+    ///
+    /// Public so other subsystems (the `irgrid-serve` request handlers)
+    /// can reuse `RunControl` as their timeout/budget primitive without
+    /// reimplementing the trip logic.
+    #[must_use]
+    pub fn deadline_hit(&self) -> bool {
         self.deadline.is_some_and(|d| Instant::now() >= d) // irgrid-lint: allow(D1): deadline gates run length only, never cost
     }
 
     /// Whether cancellation (if any) was requested.
-    pub(crate) fn cancel_hit(&self) -> bool {
+    #[must_use]
+    pub fn cancel_hit(&self) -> bool {
         self.cancel.as_ref().is_some_and(CancelToken::is_cancelled)
     }
 
-    /// Whether the move budget (if any) is exhausted at `moves_done`.
-    pub(crate) fn budget_hit(&self, moves_done: u64) -> bool {
+    /// Whether the move budget (if any) is exhausted at `moves_done`
+    /// proposed moves (for `irgrid-serve` sessions: evaluations).
+    #[must_use]
+    pub fn budget_hit(&self, moves_done: u64) -> bool {
         self.move_budget.is_some_and(|b| moves_done >= b)
     }
 
     /// Whether the step budget (if any) is exhausted at `steps_done`.
-    pub(crate) fn step_budget_hit(&self, steps_done: usize) -> bool {
+    #[must_use]
+    pub fn step_budget_hit(&self, steps_done: usize) -> bool {
         self.step_budget.is_some_and(|b| steps_done >= b)
     }
 }

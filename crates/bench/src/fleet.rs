@@ -205,12 +205,7 @@ pub fn run(mode: &Mode, bench: McncCircuit, args: &[String]) {
         bit_identical,
         wall_s: outcome.wall_s,
     };
-    let json = serde_json::to_string_pretty(&report).expect("report serializes");
-    println!("{json}");
-    match std::fs::write(out_path, format!("{json}\n")) {
-        Ok(()) => println!("\nwrote {out_path}"),
-        Err(err) => die(&format!("cannot write {out_path}: {err}")),
-    }
+    crate::report::emit(out_path, &report);
     if bit_identical == Some(false) {
         die("fleet outcome diverged from the 1-worker reference — determinism bug");
     }

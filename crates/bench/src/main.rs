@@ -18,7 +18,9 @@
 //!   validate    Router-validation correlations (extension)
 //!   congestion-perf  Retained-evaluator throughput report (BENCH_congestion.json)
 //!   fleet       Multi-replica annealing via irgrid-fleet (BENCH_fleet.json)
-//!   all         Everything above (except congestion-perf and fleet)
+//!   serve-bench Concurrent-client daemon throughput + robustness report
+//!               (BENCH_serve.json)
+//!   all         Everything above (except congestion-perf, fleet, serve-bench)
 //!
 //! flags:
 //!   --quick           2 seeds, short schedule (smoke run)
@@ -31,7 +33,13 @@
 //!   --resume DIR      resume runs from matching checkpoints in DIR
 //!                     (for fleet: resume from the fleet manifest in DIR)
 //!   --threads N       congestion-perf: benchmark N threads instead of 2 and 4
-//!   --out FILE        report path (congestion-perf, fleet)
+//!   --out FILE        report path (congestion-perf, fleet, serve-bench)
+//!
+//! serve-bench flags:
+//!   --clients N       concurrent synthetic clients (default 8)
+//!   --steps N         evaluate requests per client (default 16)
+//!   --chaos SEED      run the daemon under the default injected-fault mix
+//!                     (I/O errors, torn writes, kills + supervised restart)
 //!
 //! fleet flags:
 //!   --replicas N        annealing replicas (default 4)
@@ -53,6 +61,8 @@ mod fleet;
 mod heatmap;
 mod motivation;
 mod perf;
+mod report;
+mod serve;
 mod sweep;
 mod validate;
 
@@ -131,6 +141,7 @@ fn main() {
                 .unwrap_or(McncCircuit::Ami49);
             perf::run(&mode, perf_circuit, &args);
         }
+        "serve-bench" => serve::run(&mode, &args),
         "validate" => {
             let n = if args.iter().any(|a| a == "--quick") {
                 6

@@ -187,10 +187,5 @@ pub fn run(mode: &Mode, circuit: McncCircuit, args: &[String]) {
         sa_seconds,
         sa_moves_per_s: sa_moves as f64 / sa_seconds,
     };
-    let json = serde_json::to_string_pretty(&report).expect("report serializes");
-    println!("{json}");
-    match std::fs::write(out_path, format!("{json}\n")) {
-        Ok(()) => println!("\nwrote {out_path}"),
-        Err(err) => die(&format!("cannot write {out_path}: {err}")),
-    }
+    crate::report::emit(out_path, &report);
 }

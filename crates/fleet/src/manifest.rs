@@ -93,11 +93,18 @@ impl<S: Deserialize> FleetManifest<S> {
     }
 
     /// Reads a manifest written by [`write_file`](FleetManifest::write_file).
+    ///
+    /// Corruption of any kind — truncation, trailing garbage, bytes that
+    /// are not UTF-8 — surfaces as [`FleetError::ManifestParse`], never a
+    /// panic and never a partially loaded manifest. Only a file that
+    /// cannot be read at all is an [`FleetError::Io`].
     pub fn read_file(path: &Path) -> Result<Self, FleetError> {
-        let text = fs::read_to_string(path).map_err(|source| FleetError::Io {
+        let bytes = fs::read(path).map_err(|source| FleetError::Io {
             path: path.display().to_string(),
             source,
         })?;
+        let text = String::from_utf8(bytes)
+            .map_err(|_| FleetError::ManifestParse("manifest is not valid UTF-8".to_owned()))?;
         Self::from_json(&text)
     }
 }
@@ -257,6 +264,82 @@ mod tests {
     fn corrupt_manifest_is_a_parse_error() {
         let err = FleetManifest::<i64>::from_json("{not json").expect_err("must fail");
         assert!(matches!(err, FleetError::ManifestParse(_)));
+    }
+
+    #[test]
+    fn every_byte_level_truncation_fails_cleanly_and_never_loads_partially() {
+        let json = sample().to_json();
+        assert!(json.is_ascii(), "byte slicing below assumes ASCII output");
+        for len in 0..json.len() {
+            let torn = &json[..len];
+            match FleetManifest::<i64>::from_json(torn) {
+                Err(FleetError::ManifestParse(_)) => {}
+                Err(other) => panic!("truncation at {len} gave a non-parse error: {other:?}"),
+                Ok(_) => panic!("truncation at {len} of {} still parsed", json.len()),
+            }
+        }
+        assert_eq!(
+            FleetManifest::<i64>::from_json(&json).expect("full text parses"),
+            sample()
+        );
+    }
+
+    #[test]
+    fn trailing_garbage_after_a_valid_manifest_is_rejected() {
+        let json = sample().to_json();
+        for garbage in ["x", "{}", "null", " \n[1,2]", "}"] {
+            let err = FleetManifest::<i64>::from_json(&format!("{json}{garbage}"))
+                .expect_err("trailing bytes must fail");
+            assert!(matches!(err, FleetError::ManifestParse(_)), "{garbage:?}");
+        }
+    }
+
+    #[test]
+    fn non_utf8_bytes_on_disk_are_a_parse_error_not_a_panic() {
+        let dir = std::env::temp_dir().join("irgrid_fleet_manifest_utf8_test");
+        fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join(MANIFEST_FILE);
+        let mut bytes = sample().to_json().into_bytes();
+        bytes.extend_from_slice(&[0xFF, 0xFE, 0x00]);
+        fs::write(&path, &bytes).expect("write corrupt bytes");
+        let err = FleetManifest::<i64>::read_file(&path).expect_err("must fail");
+        assert!(matches!(err, FleetError::ManifestParse(_)));
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_tmp_from_a_crashed_write_never_shadows_the_committed_manifest() {
+        let dir = std::env::temp_dir().join("irgrid_fleet_manifest_torn_test");
+        fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join(MANIFEST_FILE);
+
+        let committed = sample();
+        committed.write_file(&path).expect("commit round N");
+
+        // Simulate a crash halfway through committing round N+1: the
+        // sibling tmp holds a truncated next manifest and the rename
+        // never happened.
+        let mut next = committed.clone();
+        next.rounds_done += 1;
+        let next_json = next.to_json();
+        fs::write(
+            path.with_extension("tmp"),
+            &next_json[..next_json.len() / 2],
+        )
+        .expect("write torn tmp");
+
+        // Resume reads the committed barrier untouched — the torn round
+        // is simply replayed.
+        let back: FleetManifest<i64> = FleetManifest::read_file(&path).expect("read");
+        assert_eq!(back, committed);
+        assert_eq!(back.rounds_done, committed.rounds_done);
+
+        // And the replayed round's commit overwrites the torn tmp.
+        next.write_file(&path).expect("recommit round N+1");
+        let back: FleetManifest<i64> = FleetManifest::read_file(&path).expect("reread");
+        assert_eq!(back, next);
+        assert!(!path.with_extension("tmp").exists());
+        fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -13,6 +13,8 @@
 //!   ([`irgrid_fleet`]);
 //! * [`congestion`] — the fixed-grid baseline and the Irregular-Grid
 //!   model ([`irgrid_core`]);
+//! * [`serve`] — the fault-tolerant congestion-evaluation daemon
+//!   ([`irgrid_serve`]);
 //! * [`floorplanner`] — the composition: a routability-driven annealing
 //!   floorplanner with cost `α·Area + β·Wire + γ·Congestion` (§5 of the
 //!   paper).
@@ -91,4 +93,12 @@ pub mod congestion {
 /// (re-export of [`irgrid_route`]).
 pub mod route {
     pub use irgrid_route::*;
+}
+
+/// The fault-tolerant congestion-evaluation daemon and its JSONL client
+/// (re-export of [`irgrid_serve`]): concurrent retained sessions over a
+/// Unix or TCP socket with checkpointing, idempotent retries, graceful
+/// degradation, and deterministic fault injection.
+pub mod serve {
+    pub use irgrid_serve::*;
 }

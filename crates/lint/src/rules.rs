@@ -2,7 +2,7 @@
 //!
 //! | ID | Name          | Default scope                                   |
 //! |----|---------------|-------------------------------------------------|
-//! | D1 | determinism   | cost crates: `core`, `floorplan`, `anneal`, `fleet`, `irgrid` |
+//! | D1 | determinism   | cost crates: `core`, `floorplan`, `anneal`, `fleet`, `irgrid`, `serve` |
 //! | D2 | float-reduce  | cost crates, minus the `core/src/num/` allowlist |
 //! | P1 | panic-policy  | every library crate's `src/`                     |
 //! | C1 | cast-audit    | `core/src/fixed.rs` and `core/src/num/`          |
@@ -48,6 +48,7 @@ const COST_CRATE_PREFIXES: &[&str] = &[
     "crates/anneal/src/",
     "crates/fleet/src/",
     "crates/irgrid/src/",
+    "crates/serve/src/",
 ];
 
 /// Library crates under the panic policy. `bench` is excluded: it is a
@@ -63,6 +64,7 @@ const LIBRARY_CRATE_PREFIXES: &[&str] = &[
     "crates/fleet/src/",
     "crates/irgrid/src/",
     "crates/lint/src/",
+    "crates/serve/src/",
 ];
 
 /// The fixed-point and binomial numeric paths audited by C1.

@@ -1,0 +1,123 @@
+//! A small deterministic LRU cache for congestion scores.
+//!
+//! Keys are state digests (16-hex-char FNV-1a strings), values the
+//! full-fidelity irregular-grid scores. The implementation is a plain
+//! `Vec` in recency order — O(capacity) per touch, which is irrelevant at
+//! the double-digit capacities sessions use, and guarantees iteration
+//! and eviction order depend only on the access sequence (no hasher
+//! state, no allocation-order effects).
+
+/// An LRU map from state digest to congestion score.
+#[derive(Debug, Clone)]
+pub struct LruCache {
+    /// Most recently used last.
+    entries: Vec<(String, f64)>,
+    capacity: usize,
+    hits: u64,
+    misses: u64,
+}
+
+impl LruCache {
+    /// A cache holding at most `capacity` scores; 0 disables caching.
+    #[must_use]
+    pub fn new(capacity: usize) -> LruCache {
+        LruCache {
+            entries: Vec::with_capacity(capacity.min(1024)),
+            capacity,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Looks up a digest, refreshing its recency on hit.
+    pub fn get(&mut self, digest: &str) -> Option<f64> {
+        let Some(position) = self.entries.iter().position(|(k, _)| k == digest) else {
+            self.misses += 1;
+            return None;
+        };
+        self.hits += 1;
+        let entry = self.entries.remove(position);
+        let score = entry.1;
+        self.entries.push(entry);
+        Some(score)
+    }
+
+    /// Inserts (or refreshes) a score, evicting the least recently used
+    /// entry when full. A no-op at capacity 0.
+    pub fn put(&mut self, digest: &str, score: f64) {
+        if self.capacity == 0 {
+            return;
+        }
+        if let Some(position) = self.entries.iter().position(|(k, _)| k == digest) {
+            self.entries.remove(position);
+        } else if self.entries.len() >= self.capacity {
+            self.entries.remove(0);
+        }
+        self.entries.push((digest.to_owned(), score));
+    }
+
+    /// Cache hits since construction.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Current entry count.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut cache = LruCache::new(2);
+        cache.put("a", 1.0);
+        cache.put("b", 2.0);
+        assert_eq!(cache.get("a"), Some(1.0)); // refresh a; b is now LRU
+        cache.put("c", 3.0); // evicts b
+        assert_eq!(cache.get("b"), None);
+        assert_eq!(cache.get("a"), Some(1.0));
+        assert_eq!(cache.get("c"), Some(3.0));
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut cache = LruCache::new(0);
+        cache.put("a", 1.0);
+        assert_eq!(cache.get("a"), None);
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn put_refreshes_existing_key() {
+        let mut cache = LruCache::new(2);
+        cache.put("a", 1.0);
+        cache.put("b", 2.0);
+        cache.put("a", 9.0); // refresh + overwrite; b is LRU
+        cache.put("c", 3.0); // evicts b
+        assert_eq!(cache.get("a"), Some(9.0));
+        assert_eq!(cache.get("b"), None);
+    }
+
+    #[test]
+    fn hit_and_miss_counters() {
+        let mut cache = LruCache::new(4);
+        cache.put("a", 1.0);
+        let _ = cache.get("a");
+        let _ = cache.get("a");
+        let _ = cache.get("nope");
+        assert_eq!(cache.hits(), 2);
+    }
+}

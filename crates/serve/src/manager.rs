@@ -1,0 +1,906 @@
+//! The session manager: request dispatch, idempotent retries, load-based
+//! degradation, and the persist-then-reply commit discipline.
+//!
+//! # Commit discipline
+//!
+//! An `Evaluate` mutates the session's persistent record (counters and
+//! the idempotency ring). The manager clones that record before the
+//! mutation, persists the new record through the [`SnapshotStore`], and
+//! only then releases the response. If persistence fails, the in-memory
+//! record rolls back to the clone and the client gets a retryable
+//! `PersistFailed` — so the daemon never acknowledges work it could
+//! forget. Combined with the idempotency ring, a client that retries on
+//! every retryable error reaches a final state byte-identical to an
+//! uninterrupted run.
+//!
+//! # Degradation ladder
+//!
+//! Load is the number of `Evaluate` requests in flight across all
+//! connections. The [`DegradePolicy`] maps it to a scoring rung:
+//! below `lz_at` the paper's irregular-grid model, then the L/Z-shape
+//! model, then the fixed grid, and past `reject_at` an explicit
+//! `Backpressure` error — bounded work, never an unbounded queue.
+//! Degraded responses carry `degraded: true`, are never cached, and are
+//! never recorded for replay: a retry re-scores at full fidelity.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use irgrid_anneal::RunControl;
+use irgrid_fleet::state_digest;
+
+use crate::protocol::{
+    valid_session_id, ErrorKind, Limits, Request, RequestOp, Response, ResponsePayload,
+    SessionConfig,
+};
+use crate::session::{DegradeRung, Session, SessionState};
+use crate::store::{SnapshotStore, StoreError};
+
+/// Load thresholds for the degradation ladder, in concurrent in-flight
+/// `Evaluate` requests. A request's own slot counts: the first request
+/// sees load 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DegradePolicy {
+    /// Loads at or above this degrade to the L/Z-shape model.
+    pub lz_at: usize,
+    /// Loads at or above this degrade to the fixed-grid model.
+    pub fixed_at: usize,
+    /// Loads at or above this are refused with `Backpressure`.
+    pub reject_at: usize,
+}
+
+impl Default for DegradePolicy {
+    fn default() -> DegradePolicy {
+        DegradePolicy {
+            lz_at: 9,
+            fixed_at: 17,
+            reject_at: 33,
+        }
+    }
+}
+
+impl DegradePolicy {
+    /// The rung for a given in-flight load, or `None` for refusal.
+    #[must_use]
+    pub fn rung_for(&self, load: usize) -> Option<DegradeRung> {
+        if load >= self.reject_at {
+            None
+        } else if load >= self.fixed_at {
+            Some(DegradeRung::Fixed)
+        } else if load >= self.lz_at {
+            Some(DegradeRung::Lz)
+        } else {
+            Some(DegradeRung::Full)
+        }
+    }
+}
+
+/// Decrements the load gauge when an `Evaluate` finishes, however it
+/// finishes.
+struct LoadGuard<'a>(&'a AtomicUsize);
+
+impl Drop for LoadGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+/// The daemon's session table and request dispatcher. One instance is
+/// shared (via `Arc`) by every connection thread.
+#[derive(Debug)]
+pub struct SessionManager {
+    store: SnapshotStore,
+    limits: Limits,
+    policy: DegradePolicy,
+    workers: usize,
+    sessions: Mutex<BTreeMap<String, Arc<Mutex<Session>>>>,
+    /// Per-session persistence attempt counters — the chaos consultation
+    /// indices. Kept here (not in the `Session`) so every attempt draws
+    /// a fresh index even when the session object is discarded, e.g. a
+    /// retried `Open` whose birth write failed: tying the index to the
+    /// session would replay the identical injected fault forever.
+    write_seqs: Mutex<BTreeMap<String, u64>>,
+    load: AtomicUsize,
+    shutting_down: AtomicBool,
+}
+
+/// Unwraps a mutex guard, recovering from poisoning (a panicked peer
+/// thread must not wedge every other connection).
+fn lock<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+impl SessionManager {
+    /// Creates a manager over `store`, fanning full-fidelity batches over
+    /// `workers` pool threads (`<= 1` evaluates inline and retained).
+    #[must_use]
+    pub fn new(
+        store: SnapshotStore,
+        limits: Limits,
+        policy: DegradePolicy,
+        workers: usize,
+    ) -> SessionManager {
+        SessionManager {
+            store,
+            limits,
+            policy,
+            workers: workers.max(1),
+            sessions: Mutex::new(BTreeMap::new()),
+            write_seqs: Mutex::new(BTreeMap::new()),
+            load: AtomicUsize::new(0),
+            shutting_down: AtomicBool::new(false),
+        }
+    }
+
+    /// The next persistence attempt index for `session_id` (monotonic
+    /// across session object lifetimes within this process).
+    fn next_seq(&self, session_id: &str) -> u64 {
+        let mut seqs = lock(&self.write_seqs);
+        let counter = seqs.entry(session_id.to_owned()).or_insert(0);
+        let seq = *counter;
+        *counter += 1;
+        seq
+    }
+
+    /// Whether `Shutdown` has been requested (the accept loop polls this).
+    #[must_use]
+    pub fn shutting_down(&self) -> bool {
+        self.shutting_down.load(Ordering::Acquire)
+    }
+
+    /// Requests a graceful shutdown.
+    pub fn request_shutdown(&self) {
+        self.shutting_down.store(true, Ordering::Release);
+    }
+
+    /// Session ids with a snapshot on disk (resumable via `Open`).
+    ///
+    /// # Errors
+    ///
+    /// Forwards [`StoreError`] when the state directory cannot be read.
+    pub fn resumable(&self) -> Result<Vec<String>, StoreError> {
+        self.store.list()
+    }
+
+    /// The limits this manager enforces.
+    #[must_use]
+    pub fn limits(&self) -> &Limits {
+        &self.limits
+    }
+
+    /// Injected chaos faults drawn by this manager's store.
+    #[must_use]
+    pub fn injected_faults(&self) -> u64 {
+        self.store.injected_faults()
+    }
+
+    /// Handles one request. `request_control` carries the per-request
+    /// deadline the transport layer chose; the manager itself never
+    /// touches the clock.
+    pub fn handle(&self, request: &Request, request_control: &RunControl) -> Response {
+        match &request.op {
+            RequestOp::Ping => Response::ok(&request.id, ResponsePayload::Pong),
+            RequestOp::Shutdown => {
+                self.request_shutdown();
+                Response::ok(&request.id, ResponsePayload::Bye)
+            }
+            _ if self.shutting_down() => Response::error(
+                &request.id,
+                ErrorKind::ShuttingDown,
+                "daemon is shutting down",
+                true,
+            ),
+            RequestOp::Open { config } => self.handle_open(request, *config),
+            RequestOp::Evaluate { states } => {
+                self.handle_evaluate(request, states, request_control)
+            }
+            RequestOp::Stat => self.with_session(request, |session| {
+                Response::ok(
+                    &request.id,
+                    ResponsePayload::Stats {
+                        stat: session.stat(),
+                    },
+                )
+            }),
+            RequestOp::Close => self.handle_close(request),
+        }
+    }
+
+    fn handle_open(&self, request: &Request, config: SessionConfig) -> Response {
+        if !valid_session_id(&request.session) {
+            return Response::error(
+                &request.id,
+                ErrorKind::InvalidRequest,
+                format!("invalid session id `{}`", request.session),
+                false,
+            );
+        }
+        if config.pitch_um <= 0 {
+            return Response::error(
+                &request.id,
+                ErrorKind::InvalidRequest,
+                format!("pitch_um {} must be positive", config.pitch_um),
+                false,
+            );
+        }
+
+        // Fast path: the session is already live.
+        {
+            let sessions = lock(&self.sessions);
+            if let Some(slot) = sessions.get(&request.session) {
+                let session = lock(slot);
+                if session.state.config == config {
+                    return Response::ok(
+                        &request.id,
+                        ResponsePayload::Opened {
+                            resumed: false,
+                            stat: session.stat(),
+                        },
+                    );
+                }
+                return Response::error(
+                    &request.id,
+                    ErrorKind::InvalidRequest,
+                    "session is open with a different config",
+                    false,
+                );
+            }
+            if sessions.len() >= self.limits.max_sessions {
+                return Response::error(
+                    &request.id,
+                    ErrorKind::Backpressure,
+                    format!("session table full ({} sessions)", sessions.len()),
+                    true,
+                );
+            }
+        }
+
+        // Resume from disk, or create fresh and persist the birth record
+        // before acknowledging (a restart must know the session exists).
+        let resumed = match self.store.read(&request.session) {
+            Ok(Some(text)) => match SessionState::from_json(&text, &request.session) {
+                Ok(state) => {
+                    if state.config != config {
+                        return Response::error(
+                            &request.id,
+                            ErrorKind::InvalidRequest,
+                            "checkpoint on disk has a different config",
+                            false,
+                        );
+                    }
+                    Some(state)
+                }
+                Err(why) => {
+                    // A complete-but-unreadable snapshot is a loud error:
+                    // silently recreating the session would lose history.
+                    return Response::error(
+                        &request.id,
+                        ErrorKind::PersistFailed,
+                        format!("session checkpoint unreadable: {why}"),
+                        false,
+                    );
+                }
+            },
+            Ok(None) => None,
+            Err(err) => {
+                return self.store_failure(&request.id, &err);
+            }
+        };
+
+        let was_resumed = resumed.is_some();
+        let session = match resumed {
+            Some(state) => Session::from_state(state, self.limits.completed_ring),
+            None => Session::create(&request.session, config, self.limits.completed_ring),
+        };
+        if !was_resumed {
+            let payload = session.state.to_json();
+            let seq = self.next_seq(&request.session);
+            if let Err(err) = self.store.write(&request.session, &payload, seq) {
+                return self.store_failure(&request.id, &err);
+            }
+        }
+
+        let slot = Arc::new(Mutex::new(session));
+        let mut sessions = lock(&self.sessions);
+        // A racing Open may have inserted meanwhile; keep the first.
+        let entry = sessions
+            .entry(request.session.clone())
+            .or_insert_with(|| slot)
+            .clone();
+        drop(sessions);
+        let stat = {
+            let session = lock(&entry);
+            if session.state.config != config {
+                return Response::error(
+                    &request.id,
+                    ErrorKind::InvalidRequest,
+                    "session is open with a different config",
+                    false,
+                );
+            }
+            session.stat()
+        };
+        Response::ok(
+            &request.id,
+            ResponsePayload::Opened {
+                resumed: was_resumed,
+                stat,
+            },
+        )
+    }
+
+    fn handle_evaluate(
+        &self,
+        request: &Request,
+        states: &[crate::protocol::FloorplanState],
+        request_control: &RunControl,
+    ) -> Response {
+        if states.len() > self.limits.max_batch {
+            return Response::error(
+                &request.id,
+                ErrorKind::BatchTooLarge,
+                format!(
+                    "batch of {} exceeds max_batch {}",
+                    states.len(),
+                    self.limits.max_batch
+                ),
+                false,
+            );
+        }
+        if let Some(over) = states
+            .iter()
+            .find(|s| s.segments.len() > self.limits.max_segments)
+        {
+            return Response::error(
+                &request.id,
+                ErrorKind::BatchTooLarge,
+                format!(
+                    "state with {} segments exceeds max_segments {}",
+                    over.segments.len(),
+                    self.limits.max_segments
+                ),
+                false,
+            );
+        }
+
+        let load = self.load.fetch_add(1, Ordering::AcqRel) + 1;
+        let _guard = LoadGuard(&self.load);
+        let Some(rung) = self.policy.rung_for(load) else {
+            return Response::error(
+                &request.id,
+                ErrorKind::Backpressure,
+                format!("{load} evaluate requests in flight; retry later"),
+                true,
+            );
+        };
+
+        let batch_digest = state_digest(&states);
+        self.with_session(request, |session| {
+            // Idempotent retry: replay the recorded response verbatim.
+            if let Some(record) = session.recorded(&request.id) {
+                if record.batch_digest == batch_digest {
+                    let mut response = Response::ok(
+                        &request.id,
+                        ResponsePayload::Evaluated {
+                            results: record.results.clone(),
+                        },
+                    );
+                    response.replayed = true;
+                    return response;
+                }
+                return Response::error(
+                    &request.id,
+                    ErrorKind::IdempotencyViolation,
+                    "request id reused with a different state batch",
+                    false,
+                );
+            }
+
+            let rollback = session.state.clone();
+            let results = match session.evaluate(
+                &request.id,
+                &batch_digest,
+                states,
+                rung,
+                request_control,
+                self.workers,
+            ) {
+                Ok(results) => results,
+                Err(failure) => {
+                    return Response::error(
+                        &request.id,
+                        failure.kind,
+                        failure.message,
+                        failure.retryable,
+                    );
+                }
+            };
+
+            // Persist before acknowledging; roll back if the disk refused.
+            let payload = session.state.to_json();
+            let seq = self.next_seq(&session.state.session_id);
+            if let Err(err) = self.store.write(&session.state.session_id, &payload, seq) {
+                session.state = rollback;
+                return self.store_failure(&request.id, &err);
+            }
+
+            let mut response = Response::ok(&request.id, ResponsePayload::Evaluated { results });
+            response.degraded = rung.is_degraded();
+            response
+        })
+    }
+
+    fn handle_close(&self, request: &Request) -> Response {
+        let slot = lock(&self.sessions).remove(&request.session);
+        if slot.is_none() {
+            return Response::error(
+                &request.id,
+                ErrorKind::UnknownSession,
+                format!("session `{}` is not open", request.session),
+                false,
+            );
+        }
+        match self.store.remove(&request.session) {
+            Ok(()) => Response::ok(&request.id, ResponsePayload::Closed),
+            Err(err) => self.store_failure(&request.id, &err),
+        }
+    }
+
+    /// Runs `body` with the named session locked, or replies
+    /// `UnknownSession`.
+    fn with_session(
+        &self,
+        request: &Request,
+        body: impl FnOnce(&mut Session) -> Response,
+    ) -> Response {
+        let slot = lock(&self.sessions).get(&request.session).cloned();
+        match slot {
+            Some(slot) => body(&mut lock(&slot)),
+            None => Response::error(
+                &request.id,
+                ErrorKind::UnknownSession,
+                format!(
+                    "session `{}` is not open (Open resumes checkpoints)",
+                    request.session
+                ),
+                false,
+            ),
+        }
+    }
+
+    fn store_failure(&self, id: &str, err: &StoreError) -> Response {
+        match err {
+            StoreError::Io { .. } => Response::error(
+                id,
+                ErrorKind::PersistFailed,
+                format!("checkpoint write failed, state rolled back: {err}"),
+                true,
+            ),
+            StoreError::Killed => {
+                self.request_shutdown();
+                Response::error(id, ErrorKind::ShuttingDown, "daemon killed", true)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chaos::{Chaos, ChaosConfig};
+    use crate::protocol::FloorplanState;
+    use crate::store::KillSwitch;
+
+    fn temp_manager(tag: &str, chaos: Chaos, policy: DegradePolicy) -> SessionManager {
+        let dir = std::env::temp_dir().join(format!("irgrid_serve_mgr_{tag}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = SnapshotStore::open(&dir, chaos, KillSwitch::new()).expect("store");
+        SessionManager::new(store, Limits::default(), policy, 1)
+    }
+
+    fn open(manager: &SessionManager, id: &str, session: &str) -> Response {
+        manager.handle(
+            &Request {
+                id: id.into(),
+                session: session.into(),
+                op: RequestOp::Open {
+                    config: SessionConfig::default_config(),
+                },
+            },
+            &RunControl::unlimited(),
+        )
+    }
+
+    fn evaluate(
+        manager: &SessionManager,
+        id: &str,
+        session: &str,
+        states: Vec<FloorplanState>,
+    ) -> Response {
+        manager.handle(
+            &Request {
+                id: id.into(),
+                session: session.into(),
+                op: RequestOp::Evaluate { states },
+            },
+            &RunControl::unlimited(),
+        )
+    }
+
+    fn states(count: usize) -> Vec<FloorplanState> {
+        (0..count as i64)
+            .map(|k| FloorplanState {
+                chip: [500, 500],
+                segments: vec![[10 + k, 10, 480, 480], [10, 480, 480 - k, 10]],
+            })
+            .collect()
+    }
+
+    #[test]
+    fn open_evaluate_stat_close_lifecycle() {
+        let manager = temp_manager("lifecycle", Chaos::off(), DegradePolicy::default());
+        let opened = open(&manager, "r1", "alice");
+        assert!(opened.ok, "{opened:?}");
+        assert!(matches!(
+            opened.payload,
+            ResponsePayload::Opened { resumed: false, .. }
+        ));
+
+        let evaluated = evaluate(&manager, "r2", "alice", states(2));
+        assert!(evaluated.ok, "{evaluated:?}");
+        assert!(!evaluated.degraded);
+        let ResponsePayload::Evaluated { results } = &evaluated.payload else {
+            panic!("wrong payload {evaluated:?}");
+        };
+        assert_eq!(results.len(), 2);
+        assert_eq!(results[0].model, "irregular");
+
+        let stat = manager.handle(
+            &Request {
+                id: "r3".into(),
+                session: "alice".into(),
+                op: RequestOp::Stat,
+            },
+            &RunControl::unlimited(),
+        );
+        let ResponsePayload::Stats { stat } = &stat.payload else {
+            panic!("wrong payload {stat:?}");
+        };
+        assert_eq!(stat.evals_done, 2);
+
+        let closed = manager.handle(
+            &Request {
+                id: "r4".into(),
+                session: "alice".into(),
+                op: RequestOp::Close,
+            },
+            &RunControl::unlimited(),
+        );
+        assert!(closed.ok);
+        assert!(manager.resumable().expect("list").is_empty());
+    }
+
+    #[test]
+    fn unknown_session_and_invalid_ids_are_typed_errors() {
+        let manager = temp_manager("unknown", Chaos::off(), DegradePolicy::default());
+        let response = evaluate(&manager, "r1", "ghost", states(1));
+        assert!(!response.ok);
+        assert!(matches!(
+            response.payload,
+            ResponsePayload::Error {
+                kind: ErrorKind::UnknownSession,
+                ..
+            }
+        ));
+        let response = open(&manager, "r2", "../escape");
+        assert!(matches!(
+            response.payload,
+            ResponsePayload::Error {
+                kind: ErrorKind::InvalidRequest,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn reopen_is_idempotent_but_config_changes_are_refused() {
+        let manager = temp_manager("reopen", Chaos::off(), DegradePolicy::default());
+        assert!(open(&manager, "r1", "s").ok);
+        assert!(open(&manager, "r2", "s").ok);
+        let different = manager.handle(
+            &Request {
+                id: "r3".into(),
+                session: "s".into(),
+                op: RequestOp::Open {
+                    config: SessionConfig {
+                        pitch_um: 60,
+                        ..SessionConfig::default_config()
+                    },
+                },
+            },
+            &RunControl::unlimited(),
+        );
+        assert!(matches!(
+            different.payload,
+            ResponsePayload::Error {
+                kind: ErrorKind::InvalidRequest,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn retry_replays_the_recorded_response_bit_for_bit() {
+        let manager = temp_manager("retry", Chaos::off(), DegradePolicy::default());
+        assert!(open(&manager, "r1", "s").ok);
+        let batch = states(2);
+        let first = evaluate(&manager, "e1", "s", batch.clone());
+        assert!(first.ok && !first.replayed);
+        let second = evaluate(&manager, "e1", "s", batch.clone());
+        assert!(second.ok && second.replayed);
+        let (ResponsePayload::Evaluated { results: a }, ResponsePayload::Evaluated { results: b }) =
+            (&first.payload, &second.payload)
+        else {
+            panic!("wrong payloads");
+        };
+        for (x, y) in a.iter().zip(b) {
+            assert_eq!(x.score.to_bits(), y.score.to_bits());
+        }
+        // Same id, different batch: refused.
+        let conflict = evaluate(&manager, "e1", "s", states(3));
+        assert!(matches!(
+            conflict.payload,
+            ResponsePayload::Error {
+                kind: ErrorKind::IdempotencyViolation,
+                ..
+            }
+        ));
+        // The replay did not double-count evaluations.
+        let ResponsePayload::Stats { stat } = manager
+            .handle(
+                &Request {
+                    id: "r9".into(),
+                    session: "s".into(),
+                    op: RequestOp::Stat,
+                },
+                &RunControl::unlimited(),
+            )
+            .payload
+        else {
+            panic!("stat");
+        };
+        assert_eq!(stat.evals_done, 2);
+    }
+
+    #[test]
+    fn degrade_thresholds_at_zero_force_degraded_or_backpressure() {
+        // lz_at 0: every request degrades (load >= 0 is always true).
+        let manager = temp_manager(
+            "degrade",
+            Chaos::off(),
+            DegradePolicy {
+                lz_at: 0,
+                fixed_at: 100,
+                reject_at: 200,
+            },
+        );
+        assert!(open(&manager, "r1", "s").ok);
+        let response = evaluate(&manager, "e1", "s", states(1));
+        assert!(response.ok);
+        assert!(response.degraded, "{response:?}");
+        let ResponsePayload::Evaluated { results } = &response.payload else {
+            panic!("payload");
+        };
+        assert_eq!(results[0].model, "lz");
+
+        // reject_at 0 (and the rest 0): every request is refused.
+        let manager = temp_manager(
+            "reject",
+            Chaos::off(),
+            DegradePolicy {
+                lz_at: 0,
+                fixed_at: 0,
+                reject_at: 0,
+            },
+        );
+        assert!(open(&manager, "r1", "s").ok);
+        let response = evaluate(&manager, "e1", "s", states(1));
+        assert!(matches!(
+            response.payload,
+            ResponsePayload::Error {
+                kind: ErrorKind::Backpressure,
+                retryable: true,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn degraded_responses_are_not_recorded_so_retries_rescore_full() {
+        let dir = std::env::temp_dir().join("irgrid_serve_mgr_degrade_retry");
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = SnapshotStore::open(&dir, Chaos::off(), KillSwitch::new()).expect("store");
+        let degrade_all = SessionManager::new(
+            store.clone(),
+            Limits::default(),
+            DegradePolicy {
+                lz_at: 0,
+                fixed_at: 100,
+                reject_at: 200,
+            },
+            1,
+        );
+        assert!(open(&degrade_all, "r1", "s").ok);
+        let batch = states(1);
+        let degraded = evaluate(&degrade_all, "e1", "s", batch.clone());
+        assert!(degraded.degraded);
+
+        // Same state dir, healthy policy: the same request id re-scores
+        // at full fidelity instead of replaying the degraded answer.
+        let healthy = SessionManager::new(store, Limits::default(), DegradePolicy::default(), 1);
+        assert!(open(&healthy, "r2", "s").ok);
+        let retry = evaluate(&healthy, "e1", "s", batch);
+        assert!(retry.ok && !retry.replayed && !retry.degraded);
+        let ResponsePayload::Evaluated { results } = &retry.payload else {
+            panic!("payload");
+        };
+        assert_eq!(results[0].model, "irregular");
+    }
+
+    #[test]
+    fn persist_failure_rolls_back_and_is_retryable() {
+        let dir = std::env::temp_dir().join("irgrid_serve_mgr_persistfail");
+        let _ = std::fs::remove_dir_all(&dir);
+        // Chaos stream for this session: seed 100, consultations 0.. —
+        // pick a seed whose consultation 1 (the first evaluate persist;
+        // consultation 0 is the Open birth write) is a fault. Easier:
+        // every write fails.
+        let all_fail = Chaos::with_config(
+            0,
+            ChaosConfig {
+                io_error_ppm: 1_000_000,
+                torn_ppm: 0,
+                kill_ppm: 0,
+            },
+        );
+        let clean_store =
+            SnapshotStore::open(&dir, Chaos::off(), KillSwitch::new()).expect("store");
+        let healthy = SessionManager::new(
+            clean_store.clone(),
+            Limits::default(),
+            DegradePolicy::default(),
+            1,
+        );
+        assert!(open(&healthy, "r1", "s").ok);
+        let before = clean_store.read("s").expect("read").expect("snapshot");
+
+        let faulty_store = SnapshotStore::open(&dir, all_fail, KillSwitch::new()).expect("store");
+        let faulty =
+            SessionManager::new(faulty_store, Limits::default(), DegradePolicy::default(), 1);
+        assert!(open(&faulty, "r2", "s").ok, "resume reads, doesn't write");
+        let response = evaluate(&faulty, "e1", "s", states(1));
+        assert!(matches!(
+            response.payload,
+            ResponsePayload::Error {
+                kind: ErrorKind::PersistFailed,
+                retryable: true,
+                ..
+            }
+        ));
+        // On-disk snapshot is untouched; in-memory counters rolled back.
+        let after = clean_store.read("s").expect("read").expect("snapshot");
+        assert_eq!(before, after);
+        let ResponsePayload::Stats { stat } = faulty
+            .handle(
+                &Request {
+                    id: "r9".into(),
+                    session: "s".into(),
+                    op: RequestOp::Stat,
+                },
+                &RunControl::unlimited(),
+            )
+            .payload
+        else {
+            panic!("stat");
+        };
+        assert_eq!(stat.evals_done, 0, "rolled back");
+    }
+
+    #[test]
+    fn restart_resumes_from_checkpoint() {
+        let dir = std::env::temp_dir().join("irgrid_serve_mgr_restart");
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = SnapshotStore::open(&dir, Chaos::off(), KillSwitch::new()).expect("store");
+        let first = SessionManager::new(
+            store.clone(),
+            Limits::default(),
+            DegradePolicy::default(),
+            1,
+        );
+        assert!(open(&first, "r1", "s").ok);
+        assert!(evaluate(&first, "e1", "s", states(2)).ok);
+        drop(first);
+
+        let second = SessionManager::new(store, Limits::default(), DegradePolicy::default(), 1);
+        assert_eq!(second.resumable().expect("list"), vec!["s".to_owned()]);
+        let reopened = open(&second, "r2", "s");
+        let ResponsePayload::Opened { resumed, stat } = &reopened.payload else {
+            panic!("payload {reopened:?}");
+        };
+        assert!(resumed);
+        assert_eq!(stat.evals_done, 2);
+        // The idempotency ring survived the restart.
+        let replay = evaluate(&second, "e1", "s", states(2));
+        assert!(replay.ok && replay.replayed);
+    }
+
+    #[test]
+    fn shutdown_refuses_new_work_but_answers_ping() {
+        let manager = temp_manager("shutdown", Chaos::off(), DegradePolicy::default());
+        assert!(open(&manager, "r1", "s").ok);
+        let bye = manager.handle(
+            &Request {
+                id: "r2".into(),
+                session: String::new(),
+                op: RequestOp::Shutdown,
+            },
+            &RunControl::unlimited(),
+        );
+        assert!(bye.ok);
+        assert!(manager.shutting_down());
+        let refused = evaluate(&manager, "e1", "s", states(1));
+        assert!(matches!(
+            refused.payload,
+            ResponsePayload::Error {
+                kind: ErrorKind::ShuttingDown,
+                ..
+            }
+        ));
+        let pong = manager.handle(
+            &Request {
+                id: "r3".into(),
+                session: String::new(),
+                op: RequestOp::Ping,
+            },
+            &RunControl::unlimited(),
+        );
+        assert!(pong.ok);
+    }
+
+    #[test]
+    fn batch_limits_are_enforced() {
+        let dir = std::env::temp_dir().join("irgrid_serve_mgr_limits");
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = SnapshotStore::open(&dir, Chaos::off(), KillSwitch::new()).expect("store");
+        let limits = Limits {
+            max_batch: 2,
+            max_segments: 3,
+            ..Limits::default()
+        };
+        let manager = SessionManager::new(store, limits, DegradePolicy::default(), 1);
+        assert!(open(&manager, "r1", "s").ok);
+        let response = evaluate(&manager, "e1", "s", states(3));
+        assert!(matches!(
+            response.payload,
+            ResponsePayload::Error {
+                kind: ErrorKind::BatchTooLarge,
+                ..
+            }
+        ));
+        let fat = vec![FloorplanState {
+            chip: [100, 100],
+            segments: vec![[0, 0, 1, 1]; 4],
+        }];
+        let response = evaluate(&manager, "e2", "s", fat);
+        assert!(matches!(
+            response.payload,
+            ResponsePayload::Error {
+                kind: ErrorKind::BatchTooLarge,
+                ..
+            }
+        ));
+    }
+}

@@ -1,0 +1,425 @@
+//! The wire protocol: JSONL frames over a Unix or TCP socket.
+//!
+//! Every frame is one JSON object on one `\n`-terminated line. Clients
+//! send [`Request`]s, the daemon answers each with exactly one
+//! [`Response`] carrying the same `id`, in request order per connection.
+//! Frames are bounded ([`Limits::max_frame_bytes`]); an oversized or
+//! malformed frame gets a typed error reply instead of killing the
+//! connection, so one bad client frame never tears down a session.
+//!
+//! # Grammar
+//!
+//! ```text
+//! frame     := json-object "\n"
+//! request   := { "id": string, "session": string, "op": op }
+//! op        := "Ping" | "Stat" | "Close" | "Shutdown"
+//!            | { "Open":     { "config": session-config } }
+//!            | { "Evaluate": { "states": [ floorplan-state* ] } }
+//! response  := { "id": string, "ok": bool, "degraded": bool,
+//!                "replayed": bool, "payload": payload }
+//! ```
+//!
+//! Enum encodings follow the workspace's serde conventions: unit
+//! variants are strings, payload variants single-entry maps.
+
+use serde::{Deserialize, Serialize};
+
+/// Newest protocol version; [`Request`]s do not carry it (the daemon and
+/// clients ship together), but session snapshots on disk do.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// Hard resource bounds the daemon enforces per frame / session / daemon.
+///
+/// Every bound produces an explicit typed error reply when exceeded —
+/// backpressure is always visible to the client, never silent queueing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Limits {
+    /// Longest accepted request line, bytes (including the newline).
+    pub max_frame_bytes: usize,
+    /// Most floorplan states in one `Evaluate` batch.
+    pub max_batch: usize,
+    /// Most live sessions the daemon will hold.
+    pub max_sessions: usize,
+    /// Most concurrent client connections; further connects get a
+    /// `Backpressure` reply and are closed.
+    pub max_clients: usize,
+    /// Most segments in one floorplan state.
+    pub max_segments: usize,
+    /// Idempotency records retained per session (oldest evicted first).
+    pub completed_ring: usize,
+}
+
+impl Default for Limits {
+    fn default() -> Limits {
+        Limits {
+            max_frame_bytes: 1 << 20,
+            max_batch: 64,
+            max_sessions: 256,
+            max_clients: 64,
+            max_segments: 100_000,
+            completed_ring: 32,
+        }
+    }
+}
+
+/// Per-session configuration fixed at `Open`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SessionConfig {
+    /// Evaluation grid pitch in µm (strictly positive).
+    pub pitch_um: i64,
+    /// Total evaluation budget across the session's lifetime; `0` means
+    /// unlimited. Enforced through
+    /// [`RunControl::with_move_budget`](irgrid_anneal::RunControl::with_move_budget).
+    pub budget: u64,
+    /// Congestion-map LRU capacity (states cached by digest); `0`
+    /// disables caching.
+    pub cache_capacity: u64,
+}
+
+impl SessionConfig {
+    /// A sane default: 30 µm pitch, unlimited budget, 128-entry cache.
+    #[must_use]
+    pub fn default_config() -> SessionConfig {
+        SessionConfig {
+            pitch_um: 30,
+            budget: 0,
+            cache_capacity: 128,
+        }
+    }
+}
+
+/// One floorplan snapshot to score: the packed chip extent plus the
+/// MST-decomposed 2-pin segments, all in µm.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FloorplanState {
+    /// Chip width and height; the lower-left corner is the origin.
+    pub chip: [i64; 2],
+    /// Segments as `[x1, y1, x2, y2]`.
+    pub segments: Vec<[i64; 4]>,
+}
+
+/// What a request asks the daemon to do.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum RequestOp {
+    /// Create the named session (or resume it from its checkpoint if the
+    /// daemon restarted). Opening an existing live session with the same
+    /// config is idempotent.
+    Open {
+        /// The session's fixed configuration.
+        config: SessionConfig,
+    },
+    /// Score a batch of floorplan states in the named session.
+    Evaluate {
+        /// The states to score, answered in order.
+        states: Vec<FloorplanState>,
+    },
+    /// Report the session's counters without evaluating anything.
+    Stat,
+    /// Close the session and delete its checkpoint.
+    Close,
+    /// Liveness probe; needs no session.
+    Ping,
+    /// Ask the daemon to stop accepting and exit cleanly (used by tests
+    /// and the CI smoke harness; needs no session).
+    Shutdown,
+}
+
+/// One client request frame.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Request {
+    /// Client-chosen request id; echoed in the response and used as the
+    /// idempotency key for `Evaluate` retries.
+    pub id: String,
+    /// Session name; `[A-Za-z0-9_-]{1,64}`. Ignored by `Ping`/`Shutdown`.
+    pub session: String,
+    /// The operation.
+    pub op: RequestOp,
+}
+
+/// Why a request was refused. `retryable` in the carrying
+/// [`ResponsePayload::Error`] says whether the same frame may simply be
+/// sent again.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ErrorKind {
+    /// The daemon (or one of its bounded queues) is full; retry later.
+    Backpressure,
+    /// The session's evaluation budget is exhausted.
+    BudgetExhausted,
+    /// The frame was not a valid request object.
+    MalformedFrame,
+    /// The frame exceeded [`Limits::max_frame_bytes`].
+    FrameTooLarge,
+    /// The `Evaluate` batch exceeded [`Limits::max_batch`] or a state
+    /// exceeded [`Limits::max_segments`].
+    BatchTooLarge,
+    /// `Evaluate`/`Stat`/`Close` named a session that was never opened.
+    UnknownSession,
+    /// The request named an invalid session id or config.
+    InvalidRequest,
+    /// A request id was reused with a different payload digest.
+    IdempotencyViolation,
+    /// The per-request evaluation deadline passed mid-batch.
+    Timeout,
+    /// Persisting the session checkpoint failed; state was rolled back,
+    /// retry the request.
+    PersistFailed,
+    /// The daemon is shutting down (or a chaos kill point fired).
+    ShuttingDown,
+}
+
+/// One scored floorplan state.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EvalResult {
+    /// FNV-1a digest of the state's canonical JSON (the cache key).
+    pub digest: String,
+    /// The congestion score (higher = more congested).
+    pub score: f64,
+    /// Which model produced the score: `"irregular"`, `"lz"`, or
+    /// `"fixed"` — the degradation ladder, top first.
+    pub model: String,
+    /// Whether the score came from the session's congestion-map cache.
+    pub cached: bool,
+}
+
+/// Session counters reported by `Stat` (and embedded in `Opened`).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SessionStat {
+    /// States evaluated over the session's lifetime (across restarts).
+    pub evals_done: u64,
+    /// Remaining evaluation budget; `0` with a zero-budget config means
+    /// unlimited.
+    pub budget_left: u64,
+    /// Cache hits over this process's lifetime (not persisted).
+    pub cache_hits: u64,
+    /// Idempotency records currently retained.
+    pub completed: u64,
+}
+
+/// The response body.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ResponsePayload {
+    /// `Open` succeeded.
+    Opened {
+        /// Whether the session was resumed from a checkpoint on disk.
+        resumed: bool,
+        /// Counters at open time.
+        stat: SessionStat,
+    },
+    /// `Evaluate` succeeded; one result per requested state, in order.
+    Evaluated {
+        /// The scores.
+        results: Vec<EvalResult>,
+    },
+    /// `Stat` succeeded.
+    Stats {
+        /// The counters.
+        stat: SessionStat,
+    },
+    /// `Close` succeeded.
+    Closed,
+    /// `Ping` reply.
+    Pong,
+    /// `Shutdown` acknowledged; the daemon stops accepting.
+    Bye,
+    /// The request failed.
+    Error {
+        /// The failure class.
+        kind: ErrorKind,
+        /// Human-readable detail.
+        message: String,
+        /// Whether resending the identical frame can succeed.
+        retryable: bool,
+    },
+}
+
+/// One daemon response frame.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Response {
+    /// The request id this answers (empty when the frame was too broken
+    /// to recover an id).
+    pub id: String,
+    /// Whether the operation succeeded.
+    pub ok: bool,
+    /// `true` when load shedding downgraded the scoring model below the
+    /// session's irregular-grid default. Degraded scores are never
+    /// cached and never recorded for idempotent replay.
+    pub degraded: bool,
+    /// `true` when this is a recorded response replayed for an
+    /// idempotent retry (same request id and payload digest).
+    pub replayed: bool,
+    /// The body.
+    pub payload: ResponsePayload,
+}
+
+impl Response {
+    /// A success response with the given payload.
+    #[must_use]
+    pub fn ok(id: &str, payload: ResponsePayload) -> Response {
+        Response {
+            id: id.to_owned(),
+            ok: true,
+            degraded: false,
+            replayed: false,
+            payload,
+        }
+    }
+
+    /// An error response.
+    #[must_use]
+    pub fn error(
+        id: &str,
+        kind: ErrorKind,
+        message: impl Into<String>,
+        retryable: bool,
+    ) -> Response {
+        Response {
+            id: id.to_owned(),
+            ok: false,
+            degraded: false,
+            replayed: false,
+            payload: ResponsePayload::Error {
+                kind,
+                message: message.into(),
+                retryable,
+            },
+        }
+    }
+
+    /// Serializes to one JSONL frame (newline included).
+    #[must_use]
+    pub fn to_frame(&self) -> String {
+        // irgrid-lint: allow(P1): serializing a plain owned data struct cannot fail
+        let mut text = serde_json::to_string(self).expect("response serialization is infallible");
+        text.push('\n');
+        text
+    }
+}
+
+/// Validates a session id: `[A-Za-z0-9_-]{1,64}` (safe as a file stem).
+#[must_use]
+pub fn valid_session_id(id: &str) -> bool {
+    !id.is_empty()
+        && id.len() <= 64
+        && id
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || b == b'_' || b == b'-')
+}
+
+/// Parses one request frame.
+///
+/// # Errors
+///
+/// Returns the parse failure text for a [`ErrorKind::MalformedFrame`]
+/// reply; the caller recovers the `id` for the reply when possible.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    serde_json::from_str(line).map_err(|err| err.to_string())
+}
+
+/// Best-effort recovery of the `id` field from a frame that failed to
+/// parse as a full [`Request`], so the error reply can still be matched.
+#[must_use]
+pub fn recover_id(line: &str) -> String {
+    let value: Result<serde::Value, _> = serde_json::from_str(line);
+    match value {
+        Ok(value) => match value.get("id") {
+            Some(serde::Value::Str(id)) => id.clone(),
+            _ => String::new(),
+        },
+        Err(_) => String::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_roundtrip() {
+        let request = Request {
+            id: "r-1".into(),
+            session: "alice".into(),
+            op: RequestOp::Evaluate {
+                states: vec![FloorplanState {
+                    chip: [600, 400],
+                    segments: vec![[0, 0, 10, 20], [5, 5, 600, 400]],
+                }],
+            },
+        };
+        let text = serde_json::to_string(&request).expect("serialize");
+        let back: Request = serde_json::from_str(&text).expect("parse");
+        assert_eq!(request, back);
+    }
+
+    #[test]
+    fn response_roundtrip_and_frame_shape() {
+        let response = Response::ok(
+            "r-2",
+            ResponsePayload::Evaluated {
+                results: vec![EvalResult {
+                    digest: "abc".into(),
+                    score: 1.5,
+                    model: "irregular".into(),
+                    cached: false,
+                }],
+            },
+        );
+        let frame = response.to_frame();
+        assert!(frame.ends_with('\n'));
+        assert_eq!(frame.matches('\n').count(), 1);
+        let back: Response = serde_json::from_str(frame.trim_end()).expect("parse");
+        assert_eq!(response, back);
+    }
+
+    #[test]
+    fn error_kinds_roundtrip() {
+        for kind in [
+            ErrorKind::Backpressure,
+            ErrorKind::BudgetExhausted,
+            ErrorKind::MalformedFrame,
+            ErrorKind::FrameTooLarge,
+            ErrorKind::BatchTooLarge,
+            ErrorKind::UnknownSession,
+            ErrorKind::InvalidRequest,
+            ErrorKind::IdempotencyViolation,
+            ErrorKind::Timeout,
+            ErrorKind::PersistFailed,
+            ErrorKind::ShuttingDown,
+        ] {
+            let response = Response::error("x", kind, "m", true);
+            let back: Response =
+                serde_json::from_str(response.to_frame().trim_end()).expect("parse");
+            assert_eq!(response, back);
+        }
+    }
+
+    #[test]
+    fn session_id_validation() {
+        assert!(valid_session_id("alice-01_B"));
+        assert!(!valid_session_id(""));
+        assert!(!valid_session_id("has space"));
+        assert!(!valid_session_id("dot.dot"));
+        assert!(!valid_session_id("../escape"));
+        assert!(!valid_session_id(&"x".repeat(65)));
+    }
+
+    #[test]
+    fn recover_id_from_partial_frames() {
+        assert_eq!(recover_id(r#"{"id":"r9","op":"Nonsense"}"#), "r9");
+        assert_eq!(recover_id("not json at all"), "");
+        assert_eq!(recover_id(r#"{"op":"Ping"}"#), "");
+    }
+
+    #[test]
+    fn malformed_frames_are_errors_not_panics() {
+        for bad in [
+            "",
+            "{",
+            "null",
+            "[1,2,3]",
+            r#"{"id":"a","session":"s","op":{"Evaluate":{"states":"nope"}}}"#,
+            r#"{"id":"a","session":"s"}"#,
+        ] {
+            assert!(parse_request(bad).is_err(), "frame {bad:?} must not parse");
+        }
+    }
+}

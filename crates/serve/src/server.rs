@@ -1,0 +1,577 @@
+//! The socket front end: accept loop, bounded frame reader, and
+//! connection threads.
+//!
+//! This module is the daemon's *only* wall-clock boundary. Socket read
+//! timeouts and per-request deadlines are chosen here and handed to the
+//! [`SessionManager`] as an opaque [`RunControl`]; everything below this
+//! layer is clock-free and therefore deterministic.
+//!
+//! Connections are one thread each, bounded by
+//! [`Limits::max_clients`](crate::protocol::Limits): the accept loop
+//! counts live connections and answers excess connects with a single
+//! `Backpressure` frame before closing — explicit refusal, never an
+//! unbounded accept queue.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration; // irgrid-lint: allow(D1): transport layer owns all socket timeouts
+
+use irgrid_anneal::RunControl;
+
+use crate::manager::SessionManager;
+use crate::protocol::{parse_request, recover_id, ErrorKind, Response};
+
+/// How long a connection thread blocks on a read before re-checking the
+/// shutdown flag.
+const POLL_READ: Duration = Duration::from_millis(50);
+
+/// Where the daemon listens.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Transport {
+    /// A Unix-domain socket at this path (the default).
+    Unix(PathBuf),
+    /// A TCP socket (fallback for hosts without Unix sockets), e.g.
+    /// `127.0.0.1:9917`.
+    Tcp(String),
+}
+
+/// Server tuning that lives above the manager: per-request deadline.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerOptions {
+    /// Wall-clock budget per request; `None` means no deadline.
+    pub request_timeout: Option<Duration>,
+}
+
+impl Default for ServerOptions {
+    fn default() -> ServerOptions {
+        ServerOptions {
+            request_timeout: Some(Duration::from_secs(30)),
+        }
+    }
+}
+
+enum Listener {
+    Unix(UnixListener),
+    Tcp(TcpListener),
+}
+
+enum Stream {
+    Unix(UnixStream),
+    Tcp(TcpStream),
+}
+
+impl Stream {
+    fn set_read_timeout(&self, timeout: Duration) -> std::io::Result<()> {
+        match self {
+            Stream::Unix(s) => s.set_read_timeout(Some(timeout)),
+            Stream::Tcp(s) => s.set_read_timeout(Some(timeout)),
+        }
+    }
+
+    fn try_clone(&self) -> std::io::Result<Stream> {
+        Ok(match self {
+            Stream::Unix(s) => Stream::Unix(s.try_clone()?),
+            Stream::Tcp(s) => Stream::Tcp(s.try_clone()?),
+        })
+    }
+}
+
+impl Read for Stream {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            Stream::Unix(s) => s.read(buf),
+            Stream::Tcp(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Stream {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            Stream::Unix(s) => s.write(buf),
+            Stream::Tcp(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            Stream::Unix(s) => s.flush(),
+            Stream::Tcp(s) => s.flush(),
+        }
+    }
+}
+
+/// A running daemon; dropping the handle does **not** stop it — call
+/// [`ServerHandle::join`] after a `Shutdown` request (or
+/// [`SessionManager::request_shutdown`]).
+pub struct ServerHandle {
+    manager: Arc<SessionManager>,
+    accept_thread: Option<thread::JoinHandle<()>>,
+    transport: Transport,
+}
+
+impl ServerHandle {
+    /// The shared manager (tests use it to trip shutdown directly).
+    #[must_use]
+    pub fn manager(&self) -> &Arc<SessionManager> {
+        &self.manager
+    }
+
+    /// Where the daemon is listening.
+    #[must_use]
+    pub fn transport(&self) -> &Transport {
+        &self.transport
+    }
+
+    /// Waits for the accept loop (and so all connection threads it
+    /// spawned and joined) to finish. Call after requesting shutdown.
+    pub fn join(mut self) {
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+        if let Transport::Unix(path) = &self.transport {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+/// Binds the transport and spawns the accept loop.
+///
+/// # Errors
+///
+/// Returns the bind error (address in use, bad path, ...).
+pub fn serve(
+    transport: Transport,
+    manager: Arc<SessionManager>,
+    options: ServerOptions,
+) -> std::io::Result<ServerHandle> {
+    let listener = match &transport {
+        Transport::Unix(path) => {
+            remove_stale_socket(path)?;
+            Listener::Unix(UnixListener::bind(path)?)
+        }
+        Transport::Tcp(address) => Listener::Tcp(TcpListener::bind(address.as_str())?),
+    };
+    // Non-blocking accept so the loop can poll the shutdown flag.
+    match &listener {
+        Listener::Unix(l) => l.set_nonblocking(true)?,
+        Listener::Tcp(l) => l.set_nonblocking(true)?,
+    }
+    let bound = match (&transport, &listener) {
+        (Transport::Tcp(_), Listener::Tcp(l)) => Transport::Tcp(l.local_addr()?.to_string()),
+        _ => transport.clone(),
+    };
+
+    let accept_manager = Arc::clone(&manager);
+    let accept_thread = thread::Builder::new()
+        .name("irgrid-serve-accept".to_owned())
+        .spawn(move || accept_loop(&listener, &accept_manager, options))?;
+
+    Ok(ServerHandle {
+        manager,
+        accept_thread: Some(accept_thread),
+        transport: bound,
+    })
+}
+
+/// Unlinks a leftover socket file only if nothing is listening on it.
+fn remove_stale_socket(path: &Path) -> std::io::Result<()> {
+    if !path.exists() {
+        return Ok(());
+    }
+    if UnixStream::connect(path).is_ok() {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::AddrInUse,
+            format!("`{}` already has a live daemon", path.display()),
+        ));
+    }
+    std::fs::remove_file(path)
+}
+
+fn accept_loop(listener: &Listener, manager: &Arc<SessionManager>, options: ServerOptions) {
+    let live = Arc::new(AtomicUsize::new(0));
+    let mut connection_threads = Vec::new();
+    loop {
+        if manager.shutting_down() {
+            break;
+        }
+        let accepted = match listener {
+            Listener::Unix(l) => l.accept().map(|(s, _)| Stream::Unix(s)),
+            Listener::Tcp(l) => l.accept().map(|(s, _)| Stream::Tcp(s)),
+        };
+        let stream = match accepted {
+            Ok(stream) => stream,
+            Err(err) if err.kind() == std::io::ErrorKind::WouldBlock => {
+                thread::sleep(POLL_READ);
+                continue;
+            }
+            Err(_) => continue,
+        };
+
+        if live.load(Ordering::Acquire) >= manager.limits().max_clients {
+            refuse(stream);
+            continue;
+        }
+
+        live.fetch_add(1, Ordering::AcqRel);
+        let thread_live = Arc::clone(&live);
+        let manager = Arc::clone(manager);
+        let spawned = thread::Builder::new()
+            .name("irgrid-serve-conn".to_owned())
+            .spawn(move || {
+                connection_loop(stream, &manager, options);
+                thread_live.fetch_sub(1, Ordering::AcqRel);
+            });
+        match spawned {
+            Ok(handle) => connection_threads.push(handle),
+            Err(_) => {
+                live.fetch_sub(1, Ordering::AcqRel);
+            }
+        }
+    }
+    for handle in connection_threads {
+        let _ = handle.join();
+    }
+}
+
+/// Answers an over-limit connect with one Backpressure frame and closes.
+fn refuse(mut stream: Stream) {
+    let response = Response::error(
+        "",
+        ErrorKind::Backpressure,
+        "client limit reached; retry later",
+        true,
+    );
+    let _ = stream.write_all(response.to_frame().as_bytes());
+}
+
+/// Reads one `\n`-terminated frame of at most `max` bytes.
+///
+/// Returns `Ok(None)` on clean EOF, `Err(true)` for over-long frames
+/// (reported, connection survives by skipping to the next newline),
+/// `Err(false)` for hard transport errors (connection drops).
+fn read_frame(
+    reader: &mut BufReader<Stream>,
+    max: usize,
+    manager: &SessionManager,
+) -> Result<Option<String>, bool> {
+    let mut line = Vec::new();
+    loop {
+        let buffer = match reader.fill_buf() {
+            Ok(buffer) => buffer,
+            Err(err)
+                if err.kind() == std::io::ErrorKind::WouldBlock
+                    || err.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                // Read timeout: poll shutdown, keep waiting. A client may
+                // legitimately idle between requests (chaos "stalled
+                // client"); only shutdown ends the wait.
+                if manager.shutting_down() {
+                    return Ok(None);
+                }
+                continue;
+            }
+            Err(_) => return Err(false),
+        };
+        if buffer.is_empty() {
+            // EOF. A partial unterminated line is a torn frame; drop it.
+            return Ok(None);
+        }
+        let (chunk, terminated) = match buffer.iter().position(|&b| b == b'\n') {
+            Some(newline) => (newline + 1, true),
+            None => (buffer.len(), false),
+        };
+        if line.len() + chunk > max {
+            // Consume to the newline (or all buffered) so the connection
+            // can resync on the next frame.
+            reader.consume(chunk);
+            if terminated {
+                return Err(true);
+            }
+            // Skip the rest of the oversized line.
+            loop {
+                let buffer = match reader.fill_buf() {
+                    Ok(b) => b,
+                    Err(err)
+                        if err.kind() == std::io::ErrorKind::WouldBlock
+                            || err.kind() == std::io::ErrorKind::TimedOut =>
+                    {
+                        if manager.shutting_down() {
+                            return Ok(None);
+                        }
+                        continue;
+                    }
+                    Err(_) => return Err(false),
+                };
+                if buffer.is_empty() {
+                    return Ok(None);
+                }
+                match buffer.iter().position(|&b| b == b'\n') {
+                    Some(newline) => {
+                        reader.consume(newline + 1);
+                        return Err(true);
+                    }
+                    None => {
+                        let len = buffer.len();
+                        reader.consume(len);
+                    }
+                }
+            }
+        }
+        line.extend_from_slice(&buffer[..chunk]);
+        reader.consume(chunk);
+        if terminated {
+            let text = String::from_utf8_lossy(&line).into_owned();
+            return Ok(Some(text));
+        }
+    }
+}
+
+fn connection_loop(stream: Stream, manager: &Arc<SessionManager>, options: ServerOptions) {
+    if stream.set_read_timeout(POLL_READ).is_err() {
+        return;
+    }
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let mut writer = write_half;
+    let mut reader = BufReader::new(stream);
+    let max_frame = manager.limits().max_frame_bytes;
+
+    loop {
+        let line = match read_frame(&mut reader, max_frame, manager) {
+            Ok(Some(line)) => line,
+            Ok(None) => return,
+            Err(true) => {
+                let response = Response::error(
+                    "",
+                    ErrorKind::FrameTooLarge,
+                    format!("frame exceeds {max_frame} bytes"),
+                    false,
+                );
+                if writer.write_all(response.to_frame().as_bytes()).is_err() {
+                    return;
+                }
+                continue;
+            }
+            Err(false) => return,
+        };
+        let trimmed = line.trim_end_matches(['\n', '\r']);
+        if trimmed.is_empty() {
+            continue;
+        }
+
+        let response = match parse_request(trimmed) {
+            Ok(request) => {
+                let control = match options.request_timeout {
+                    Some(limit) => RunControl::unlimited().with_time_limit(limit),
+                    None => RunControl::unlimited(),
+                };
+                manager.handle(&request, &control)
+            }
+            Err(why) => Response::error(
+                &recover_id(trimmed),
+                ErrorKind::MalformedFrame,
+                format!("unparseable request frame: {why}"),
+                false,
+            ),
+        };
+        let is_bye = matches!(response.payload, crate::protocol::ResponsePayload::Bye);
+        if writer.write_all(response.to_frame().as_bytes()).is_err() {
+            return;
+        }
+        let _ = writer.flush();
+        if is_bye {
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chaos::Chaos;
+    use crate::manager::DegradePolicy;
+    use crate::protocol::Limits;
+    use crate::store::{KillSwitch, SnapshotStore};
+
+    fn temp_server(tag: &str, limits: Limits) -> ServerHandle {
+        let dir = std::env::temp_dir().join(format!("irgrid_serve_srv_{tag}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = SnapshotStore::open(&dir, Chaos::off(), KillSwitch::new()).expect("store");
+        let manager = Arc::new(SessionManager::new(
+            store,
+            limits,
+            DegradePolicy::default(),
+            1,
+        ));
+        serve(
+            Transport::Tcp("127.0.0.1:0".to_owned()),
+            manager,
+            ServerOptions::default(),
+        )
+        .expect("serve")
+    }
+
+    fn connect(handle: &ServerHandle) -> TcpStream {
+        let Transport::Tcp(address) = handle.transport() else {
+            panic!("tcp expected");
+        };
+        TcpStream::connect(address.as_str()).expect("connect")
+    }
+
+    fn roundtrip(stream: &mut TcpStream, frame: &str) -> Response {
+        stream.write_all(frame.as_bytes()).expect("send");
+        let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("reply");
+        serde_json::from_str(line.trim_end()).expect("parse response")
+    }
+
+    #[test]
+    fn ping_shutdown_over_tcp() {
+        let handle = temp_server("ping", Limits::default());
+        let mut stream = connect(&handle);
+        let pong = roundtrip(
+            &mut stream,
+            "{\"id\":\"p1\",\"session\":\"\",\"op\":\"Ping\"}\n",
+        );
+        assert!(pong.ok, "{pong:?}");
+        let bye = roundtrip(
+            &mut stream,
+            "{\"id\":\"p2\",\"session\":\"\",\"op\":\"Shutdown\"}\n",
+        );
+        assert!(bye.ok);
+        handle.join();
+    }
+
+    #[test]
+    fn malformed_and_oversized_frames_get_typed_errors_not_disconnects() {
+        let handle = temp_server(
+            "badframes",
+            Limits {
+                max_frame_bytes: 256,
+                ..Limits::default()
+            },
+        );
+        let mut stream = connect(&handle);
+
+        let bad = roundtrip(&mut stream, "{\"id\":\"b1\",\"nope\":true}\n");
+        assert!(!bad.ok);
+        assert_eq!(bad.id, "b1", "id recovered from the broken frame");
+        assert!(matches!(
+            bad.payload,
+            crate::protocol::ResponsePayload::Error {
+                kind: ErrorKind::MalformedFrame,
+                ..
+            }
+        ));
+
+        let huge = format!("{{\"id\":\"b2\",\"pad\":\"{}\"}}\n", "x".repeat(512));
+        let too_large = roundtrip(&mut stream, &huge);
+        assert!(matches!(
+            too_large.payload,
+            crate::protocol::ResponsePayload::Error {
+                kind: ErrorKind::FrameTooLarge,
+                ..
+            }
+        ));
+
+        // The connection survived both: a normal request still works.
+        let pong = roundtrip(
+            &mut stream,
+            "{\"id\":\"b3\",\"session\":\"\",\"op\":\"Ping\"}\n",
+        );
+        assert!(pong.ok);
+
+        roundtrip(
+            &mut stream,
+            "{\"id\":\"b4\",\"session\":\"\",\"op\":\"Shutdown\"}\n",
+        );
+        handle.join();
+    }
+
+    #[test]
+    fn client_limit_refuses_with_backpressure() {
+        let handle = temp_server(
+            "climit",
+            Limits {
+                max_clients: 1,
+                ..Limits::default()
+            },
+        );
+        // First connection occupies the only slot...
+        let mut first = connect(&handle);
+        let pong = roundtrip(
+            &mut first,
+            "{\"id\":\"c1\",\"session\":\"\",\"op\":\"Ping\"}\n",
+        );
+        assert!(pong.ok);
+        // ...the second gets one Backpressure frame and EOF.
+        let second = connect(&handle);
+        let mut reader = BufReader::new(second);
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("refusal frame");
+        let refusal: Response = serde_json::from_str(line.trim_end()).expect("parse");
+        assert!(matches!(
+            refusal.payload,
+            crate::protocol::ResponsePayload::Error {
+                kind: ErrorKind::Backpressure,
+                retryable: true,
+                ..
+            }
+        ));
+        roundtrip(
+            &mut first,
+            "{\"id\":\"c2\",\"session\":\"\",\"op\":\"Shutdown\"}\n",
+        );
+        handle.join();
+    }
+
+    #[test]
+    fn unix_socket_end_to_end() {
+        let dir = std::env::temp_dir().join("irgrid_serve_srv_unix");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("dir");
+        let socket = dir.join("daemon.sock");
+        let store = SnapshotStore::open(&dir.join("state"), Chaos::off(), KillSwitch::new())
+            .expect("store");
+        let manager = Arc::new(SessionManager::new(
+            store,
+            Limits::default(),
+            DegradePolicy::default(),
+            1,
+        ));
+        let handle = serve(
+            Transport::Unix(socket.clone()),
+            manager,
+            ServerOptions::default(),
+        )
+        .expect("serve");
+
+        let mut stream = UnixStream::connect(&socket).expect("connect");
+        stream
+            .write_all(
+                b"{\"id\":\"u1\",\"session\":\"alice\",\"op\":{\"Open\":{\"config\":{\"pitch_um\":30,\"budget\":0,\"cache_capacity\":8}}}}\n",
+            )
+            .expect("send");
+        let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("reply");
+        let opened: Response = serde_json::from_str(line.trim_end()).expect("parse");
+        assert!(opened.ok, "{opened:?}");
+
+        stream
+            .write_all(b"{\"id\":\"u2\",\"session\":\"\",\"op\":\"Shutdown\"}\n")
+            .expect("send");
+        line.clear();
+        reader.read_line(&mut line).expect("reply");
+        handle.join();
+        assert!(!socket.exists(), "socket unlinked on join");
+    }
+}

@@ -1,0 +1,517 @@
+//! Chaos suite: synthetic clients drive the daemon through injected
+//! I/O errors, torn writes, and simulated kills, and the final state
+//! must be **byte-identical** to an uninterrupted run.
+//!
+//! The core harness runs the same deterministic client scripts twice:
+//!
+//! 1. against a clean daemon (chaos off) — the reference run;
+//! 2. against a chaotic daemon, restarting it (fresh process model: new
+//!    kill switch, bumped chaos epoch, same state directory) every time
+//!    an injected kill fires, with clients retrying per protocol.
+//!
+//! Afterwards every session snapshot in the chaotic state directory must
+//! equal the reference snapshot byte for byte — zero lost sessions, zero
+//! corrupted sessions, zero double-counted evaluations.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use irgrid_serve::{
+    serve, Chaos, ChaosConfig, Client, ClientError, DegradePolicy, FloorplanState, KillSwitch,
+    Limits, Request, RequestOp, Response, ResponsePayload, ServerHandle, ServerOptions,
+    SessionConfig, SessionManager, SnapshotStore, Transport,
+};
+
+const CLIENTS: usize = 4;
+const STEPS: usize = 12;
+const ATTEMPTS_PER_ROUND: u32 = 4;
+const MAX_RESTARTS: usize = 200;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("irgrid_serve_chaos_{tag}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn config() -> SessionConfig {
+    SessionConfig {
+        pitch_um: 30,
+        budget: 0,
+        cache_capacity: 32,
+    }
+}
+
+/// The deterministic geometry client `c` evaluates at script step `s`.
+fn states_for(client: usize, step: usize) -> Vec<FloorplanState> {
+    let (c, s) = (client as i64, step as i64);
+    let count = 1 + (client + step) % 2;
+    (0..count as i64)
+        .map(|k| FloorplanState {
+            chip: [700, 600],
+            segments: vec![
+                [20 + 13 * c + 7 * s + k, 15, 680 - 9 * s, 585 - 11 * c],
+                [20, 585 - 7 * s, 680 - 5 * c - k, 15],
+                [350, 10 + 3 * k, 350 + 17 * c, 590],
+            ],
+        })
+        .collect()
+}
+
+/// One client's full request script, in order.
+fn script_for(client: usize) -> Vec<Request> {
+    let session = format!("client-{client}");
+    let mut script = vec![Request {
+        id: format!("c{client}-open"),
+        session: session.clone(),
+        op: RequestOp::Open { config: config() },
+    }];
+    for step in 0..STEPS {
+        script.push(Request {
+            id: format!("c{client}-eval-{step}"),
+            session: session.clone(),
+            op: RequestOp::Evaluate {
+                states: states_for(client, step),
+            },
+        });
+    }
+    script
+}
+
+struct TestDaemon {
+    handle: ServerHandle,
+    kill: KillSwitch,
+}
+
+fn start_daemon(state_dir: &Path, chaos: Chaos, workers: usize) -> TestDaemon {
+    let kill = KillSwitch::new();
+    let store = SnapshotStore::open(state_dir, chaos, kill.clone()).expect("open store");
+    let manager = Arc::new(SessionManager::new(
+        store,
+        Limits::default(),
+        DegradePolicy::default(),
+        workers,
+    ));
+    let handle = serve(
+        Transport::Tcp("127.0.0.1:0".to_owned()),
+        manager,
+        ServerOptions::default(),
+    )
+    .expect("serve");
+    TestDaemon { handle, kill }
+}
+
+fn stop_daemon(daemon: TestDaemon) {
+    daemon.handle.manager().request_shutdown();
+    daemon.handle.join();
+}
+
+fn snapshots(state_dir: &Path) -> BTreeMap<String, String> {
+    let store = SnapshotStore::open(state_dir, Chaos::off(), KillSwitch::new()).expect("open");
+    let mut map = BTreeMap::new();
+    for id in store.list().expect("list") {
+        let text = store.read(&id).expect("read").expect("snapshot exists");
+        map.insert(id, text);
+    }
+    map
+}
+
+/// Runs every client script to completion against a clean daemon,
+/// returning each response in order per client.
+fn run_reference(state_dir: &Path) -> Vec<Vec<Response>> {
+    let daemon = start_daemon(state_dir, Chaos::off(), 1);
+    let mut transcripts = Vec::new();
+    for client_index in 0..CLIENTS {
+        let mut client = Client::new(daemon.handle.transport().clone());
+        let mut responses = Vec::new();
+        for request in script_for(client_index) {
+            let response = client.call(&request, 3).expect("clean run never faults");
+            assert!(response.ok, "clean run failed: {response:?}");
+            responses.push(response);
+        }
+        transcripts.push(responses);
+    }
+    stop_daemon(daemon);
+    transcripts
+}
+
+/// Drives every script against a chaotic daemon, restarting on kills.
+/// Returns the first successful response per request id, plus the number
+/// of restarts survived and injected faults drawn across all lifetimes.
+fn run_chaotic(state_dir: &Path, seed: u64) -> (BTreeMap<String, Response>, usize, u64) {
+    // An aggressive mix so a short scripted run reliably draws every
+    // fault class (still deterministic: same seed, same decisions).
+    let mix = ChaosConfig {
+        io_error_ppm: 150_000,
+        torn_ppm: 100_000,
+        kill_ppm: 60_000,
+    };
+    let chaos_for = |epoch: u64| Chaos::with_config(seed, mix).with_epoch(epoch);
+    let mut daemon = start_daemon(state_dir, chaos_for(0), 1);
+    let mut clients: Vec<Client> = (0..CLIENTS)
+        .map(|_| Client::new(daemon.handle.transport().clone()))
+        .collect();
+    let scripts: Vec<Vec<Request>> = (0..CLIENTS).map(script_for).collect();
+    let mut positions = [0usize; CLIENTS];
+    // Set after a daemon restart: the rebooted daemon only resumes a
+    // session when the client re-sends `Open`.
+    let mut needs_reopen = [false; CLIENTS];
+    let mut outcomes: BTreeMap<String, Response> = BTreeMap::new();
+    let mut restarts = 0usize;
+    let mut injected_failures = 0usize;
+    let mut injected_faults = 0u64;
+
+    while positions
+        .iter()
+        .zip(&scripts)
+        .any(|(&p, script)| p < script.len())
+    {
+        // Round-robin one request per client, retrying in place.
+        for client_index in 0..CLIENTS {
+            let position = positions[client_index];
+            let Some(request) = scripts[client_index].get(position) else {
+                continue;
+            };
+            if needs_reopen[client_index] && position > 0 {
+                match clients[client_index].call(&scripts[client_index][0], ATTEMPTS_PER_ROUND) {
+                    Ok(response) if response.ok => needs_reopen[client_index] = false,
+                    Ok(response) => panic!("reopen refused: {response:?}"),
+                    Err(ClientError::Transport(_) | ClientError::RetriesExhausted(_)) => {
+                        injected_failures += 1;
+                        continue;
+                    }
+                    Err(err) => panic!("protocol violation under chaos: {err}"),
+                }
+            }
+            match clients[client_index].call(request, ATTEMPTS_PER_ROUND) {
+                Ok(response) if response.ok => {
+                    outcomes.insert(request.id.clone(), response);
+                    positions[client_index] += 1;
+                }
+                Ok(response) => {
+                    panic!("non-retryable failure in chaos run: {response:?}");
+                }
+                Err(ClientError::Transport(_) | ClientError::RetriesExhausted(_)) => {
+                    injected_failures += 1;
+                }
+                Err(err) => panic!("protocol violation under chaos: {err}"),
+            }
+        }
+
+        if daemon.kill.is_tripped() {
+            // Simulated SIGKILL: tear the daemon down and "reboot" it
+            // over the same state directory with a fresh kill switch and
+            // the next chaos epoch.
+            restarts += 1;
+            assert!(
+                restarts <= MAX_RESTARTS,
+                "daemon not making progress after {restarts} restarts"
+            );
+            injected_faults += daemon.handle.manager().injected_faults();
+            stop_daemon(daemon);
+            daemon = start_daemon(state_dir, chaos_for(restarts as u64), 1);
+            for client in &mut clients {
+                client.disconnect();
+            }
+            let transport = daemon.handle.transport().clone();
+            clients = (0..CLIENTS)
+                .map(|_| Client::new(transport.clone()))
+                .collect();
+            needs_reopen = [true; CLIENTS];
+        }
+    }
+
+    injected_faults += daemon.handle.manager().injected_faults();
+    stop_daemon(daemon);
+    let _ = injected_failures;
+    (outcomes, restarts, injected_faults)
+}
+
+#[test]
+fn chaotic_run_converges_to_the_uninterrupted_state_byte_for_byte() {
+    let reference_dir = temp_dir("reference");
+    let reference = run_reference(&reference_dir);
+    let reference_snapshots = snapshots(&reference_dir);
+    assert_eq!(
+        reference_snapshots.len(),
+        CLIENTS,
+        "one snapshot per session"
+    );
+
+    // A seed that demonstrably injects faults (asserted below).
+    let chaotic_dir = temp_dir("chaotic");
+    let (outcomes, restarts, injected_faults) = run_chaotic(&chaotic_dir, 0xC0FFEE);
+    let chaotic_snapshots = snapshots(&chaotic_dir);
+
+    // The run must actually have been chaotic, or this test proves
+    // nothing. Faults absorbed by client-side retries are invisible at
+    // the harness, so count them at the store.
+    assert!(
+        injected_faults > 0,
+        "chaos seed injected nothing; the suite is not exercising faults"
+    );
+    eprintln!("chaos run: {injected_faults} injected fault(s), {restarts} restart(s)");
+
+    // Zero lost, zero extra, zero corrupted sessions...
+    assert_eq!(
+        chaotic_snapshots.keys().collect::<Vec<_>>(),
+        reference_snapshots.keys().collect::<Vec<_>>()
+    );
+    // ...and every snapshot byte-identical to the uninterrupted run.
+    for (id, reference_text) in &reference_snapshots {
+        assert_eq!(
+            &chaotic_snapshots[id], reference_text,
+            "session `{id}` diverged from the uninterrupted run"
+        );
+    }
+
+    // Every score the chaotic clients saw matches the reference run
+    // bit for bit (replays included).
+    for (client_index, responses) in reference.iter().enumerate() {
+        for (request, reference_response) in script_for(client_index).iter().zip(responses) {
+            let chaotic_response = &outcomes[&request.id];
+            let (
+                ResponsePayload::Evaluated { results: want },
+                ResponsePayload::Evaluated { results: got },
+            ) = (&reference_response.payload, &chaotic_response.payload)
+            else {
+                continue;
+            };
+            assert_eq!(want.len(), got.len());
+            for (a, b) in want.iter().zip(got) {
+                assert_eq!(a.digest, b.digest);
+                assert_eq!(
+                    a.score.to_bits(),
+                    b.score.to_bits(),
+                    "score diverged for {}",
+                    request.id
+                );
+                assert_eq!(
+                    a.model, b.model,
+                    "chaos run must not leave degraded results"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn concurrent_chaotic_clients_lose_no_sessions() {
+    // Real thread-per-client concurrency; io-error + torn faults only
+    // (kills need the restart choreography covered above). Every client
+    // retries until its script completes; afterwards every session must
+    // be present, parseable, and fully counted.
+    let dir = temp_dir("concurrent");
+    let kill = KillSwitch::new();
+    let chaos = Chaos::with_config(
+        99,
+        ChaosConfig {
+            io_error_ppm: 120_000,
+            torn_ppm: 80_000,
+            kill_ppm: 0,
+        },
+    );
+    let store = SnapshotStore::open(&dir, chaos, kill.clone()).expect("store");
+    let manager = Arc::new(SessionManager::new(
+        store,
+        Limits::default(),
+        DegradePolicy::default(),
+        2,
+    ));
+    let handle = serve(
+        Transport::Tcp("127.0.0.1:0".to_owned()),
+        manager,
+        ServerOptions::default(),
+    )
+    .expect("serve");
+
+    let transport = handle.transport().clone();
+    std::thread::scope(|scope| {
+        for client_index in 0..8 {
+            let transport = transport.clone();
+            scope.spawn(move || {
+                let mut client = Client::new(transport);
+                for request in script_for(client_index) {
+                    let response = client.call(&request, 64).expect("retries must converge");
+                    assert!(response.ok, "{response:?}");
+                }
+            });
+        }
+    });
+    handle.manager().request_shutdown();
+    handle.join();
+    assert!(!kill.is_tripped());
+
+    let expected_evals: u64 = (0..8)
+        .map(|c| {
+            (0..STEPS)
+                .map(|s| states_for(c, s).len() as u64)
+                .sum::<u64>()
+        })
+        .sum();
+    let recovered = snapshots(&dir);
+    assert_eq!(recovered.len(), 8, "no session lost or corrupted");
+    let mut total_evals = 0u64;
+    for client_index in 0..8 {
+        let id = format!("client-{client_index}");
+        let text = &recovered[&id];
+        let value: serde::Value = serde_json::from_str(text).expect("snapshot parses");
+        let Some(serde::Value::Int(done)) = value.get("evals_done") else {
+            panic!("snapshot for `{id}` has no evals_done: {text}");
+        };
+        total_evals += u64::try_from(*done).expect("non-negative");
+    }
+    assert_eq!(
+        total_evals, expected_evals,
+        "retries double-counted or dropped evaluations"
+    );
+}
+
+#[test]
+fn killed_daemon_resumes_sessions_bit_identically_after_restart() {
+    // Focused kill-only scenario: run half a script, force a kill on the
+    // next persist, restart, finish — and compare against one continuous
+    // run in a separate directory.
+    let continuous_dir = temp_dir("kill_continuous");
+    {
+        let daemon = start_daemon(&continuous_dir, Chaos::off(), 1);
+        let mut client = Client::new(daemon.handle.transport().clone());
+        for request in script_for(0) {
+            assert!(client.call(&request, 3).expect("call").ok);
+        }
+        stop_daemon(daemon);
+    }
+
+    let interrupted_dir = temp_dir("kill_interrupted");
+    let script = script_for(0);
+    let half = script.len() / 2;
+    {
+        let daemon = start_daemon(&interrupted_dir, Chaos::off(), 1);
+        let mut client = Client::new(daemon.handle.transport().clone());
+        for request in &script[..half] {
+            assert!(client.call(request, 3).expect("call").ok);
+        }
+        // Chaos kill on every write from here on: the very next evaluate
+        // trips the kill switch mid-persist and is rolled back.
+        let kill_all = Chaos::with_config(
+            1,
+            ChaosConfig {
+                io_error_ppm: 0,
+                torn_ppm: 0,
+                kill_ppm: 1_000_000,
+            },
+        );
+        let kill_store =
+            SnapshotStore::open(&interrupted_dir, kill_all, daemon.kill.clone()).expect("store");
+        let killed_manager = Arc::new(SessionManager::new(
+            kill_store,
+            Limits::default(),
+            DegradePolicy::default(),
+            1,
+        ));
+        // Resume the session in the doomed manager (reads only, no
+        // persist), then evaluate: that persist draws the injected kill.
+        let reopened = killed_manager.handle(&script[0], &irgrid_anneal::RunControl::unlimited());
+        assert!(reopened.ok, "{reopened:?}");
+        let refused = killed_manager.handle(&script[half], &irgrid_anneal::RunControl::unlimited());
+        assert!(!refused.ok, "kill-injected persist must fail: {refused:?}");
+        assert!(daemon.kill.is_tripped());
+        stop_daemon(daemon);
+    }
+    // "Reboot" and run the remainder of the script, retries included.
+    {
+        let daemon = start_daemon(&interrupted_dir, Chaos::off(), 1);
+        let mut client = Client::new(daemon.handle.transport().clone());
+        // Re-open, then resend everything from the failed request on.
+        assert!(client.call(&script[0], 3).expect("reopen").ok);
+        for request in &script[half..] {
+            assert!(client.call(request, 3).expect("call").ok);
+        }
+        stop_daemon(daemon);
+    }
+
+    let continuous = snapshots(&continuous_dir);
+    let recovered = snapshots(&interrupted_dir);
+    assert_eq!(
+        recovered, continuous,
+        "post-kill recovery diverged from the continuous run"
+    );
+    // No stale staging litter indistinguishable from a snapshot: the torn
+    // tmp may exist, but it is ignored by list/read, which is what the
+    // equality above proves. Belt and braces: the tmp never parses as a
+    // complete snapshot.
+    let tmp = interrupted_dir.join("client-0.session.tmp");
+    if let Ok(text) = std::fs::read_to_string(&tmp) {
+        assert!(
+            serde_json::from_str::<serde::Value>(&text).is_err(),
+            "torn staging file unexpectedly parses as complete JSON"
+        );
+    }
+}
+
+#[test]
+fn degradation_ladder_flags_and_recovers_over_the_socket() {
+    let dir = temp_dir("degrade");
+    let store = SnapshotStore::open(&dir, Chaos::off(), KillSwitch::new()).expect("store");
+    // lz_at 0: every evaluate degrades to the L/Z model.
+    let manager = Arc::new(SessionManager::new(
+        store.clone(),
+        Limits::default(),
+        DegradePolicy {
+            lz_at: 0,
+            fixed_at: 1_000,
+            reject_at: 2_000,
+        },
+        1,
+    ));
+    let handle = serve(
+        Transport::Tcp("127.0.0.1:0".to_owned()),
+        manager,
+        ServerOptions::default(),
+    )
+    .expect("serve");
+    let mut client = Client::new(handle.transport().clone());
+    let script = script_for(0);
+    assert!(client.call(&script[0], 3).expect("open").ok);
+    let degraded = client.call(&script[1], 3).expect("evaluate");
+    assert!(degraded.ok);
+    assert!(
+        degraded.degraded,
+        "must flag the downgraded model: {degraded:?}"
+    );
+    let ResponsePayload::Evaluated { results } = &degraded.payload else {
+        panic!("payload {degraded:?}");
+    };
+    assert!(results.iter().all(|r| r.model == "lz"));
+    handle.manager().request_shutdown();
+    handle.join();
+
+    // Healthy daemon over the same state dir: the same request id is NOT
+    // replayed from the ring (degraded responses are never recorded) and
+    // re-scores at full fidelity.
+    let manager = Arc::new(SessionManager::new(
+        store,
+        Limits::default(),
+        DegradePolicy::default(),
+        1,
+    ));
+    let handle = serve(
+        Transport::Tcp("127.0.0.1:0".to_owned()),
+        manager,
+        ServerOptions::default(),
+    )
+    .expect("serve");
+    let mut client = Client::new(handle.transport().clone());
+    assert!(client.call(&script[0], 3).expect("reopen").ok);
+    let retried = client.call(&script[1], 3).expect("retry");
+    assert!(
+        retried.ok && !retried.degraded && !retried.replayed,
+        "{retried:?}"
+    );
+    let ResponsePayload::Evaluated { results } = &retried.payload else {
+        panic!("payload {retried:?}");
+    };
+    assert!(results.iter().all(|r| r.model == "irregular"));
+    handle.manager().request_shutdown();
+    handle.join();
+}
