@@ -34,6 +34,117 @@ pub trait Problem {
     fn perturb<R: Rng>(&self, state: &mut Self::State, rng: &mut R);
 }
 
+/// Opt-in incremental move evaluation: a [`Problem`] whose cost can be
+/// updated in O(changed components) per move instead of recomputed from
+/// scratch, driven by the engine's delta loop
+/// ([`Annealer::run_delta`] and friends).
+///
+/// # Move protocol
+///
+/// The engine calls [`rebase`](DeltaProblem::rebase) once on the initial
+/// state, then per move exactly one
+/// [`propose`](DeltaProblem::propose) followed by either
+/// [`commit`](DeltaProblem::commit) (move accepted) or
+/// [`undo`](DeltaProblem::undo) (move rejected). `propose` perturbs the
+/// state *in place* — there is no candidate clone — and `undo` must
+/// restore it exactly. `propose` draws from the RNG exactly as
+/// [`Problem::perturb`] would, so delta and full-cost loops consume
+/// identical RNG streams.
+///
+/// # Cost contract
+///
+/// For any state reachable by the protocol, `propose`'s return value
+/// must be **bit-identical** to what `rebase` would return for the
+/// perturbed state on a freshly rebased problem — incremental bookkeeping
+/// may not drift, not even in the last ulp (use integer/fixed-point
+/// accumulation for order-dependent sums). The delta cost may be a
+/// *different* (deterministic) quantity than [`Problem::cost`] — e.g.
+/// quantized congestion instead of float congestion; the engine never
+/// mixes the two inside one run's move loop.
+///
+/// Every method takes `&self`: like [`Problem::cost`], implementations
+/// keep mutable evaluation state behind interior mutability.
+pub trait DeltaProblem: Problem {
+    /// Installs `state` as the committed state of the incremental
+    /// evaluation and returns its cost under the delta cost function.
+    /// The default forwards to [`Problem::cost`], so a `DeltaProblem`
+    /// built purely from `propose`/`undo` keeps the full-cost semantics.
+    fn rebase(&self, state: &Self::State) -> f64 {
+        self.cost(state)
+    }
+
+    /// Perturbs `state` in place (drawing from `rng` exactly like
+    /// [`Problem::perturb`]) and returns the perturbed state's cost,
+    /// evaluated incrementally against the committed state.
+    fn propose<R: Rng>(&self, state: &mut Self::State, rng: &mut R) -> f64;
+
+    /// Accepts the pending proposal: the perturbed state becomes the
+    /// committed state. Default: no-op (for adapters with no retained
+    /// evaluation state).
+    fn commit(&self) {}
+
+    /// Rejects the pending proposal: restores `state` (and any retained
+    /// evaluation state) to the committed state.
+    fn undo(&self, state: &mut Self::State);
+}
+
+/// The universal [`DeltaProblem`] adapter: wraps any [`Problem`], with
+/// `propose` = clone + perturb + full [`Problem::cost`] and `undo` =
+/// restore the clone. No incremental speedup — this is the "default impl
+/// = full cost" escape hatch that lets any existing problem run on the
+/// delta loop unchanged. [`Annealer::run_delta`] on `FullCostDelta<P>`
+/// is bit-identical to [`Annealer::run`] on `P` (tested below).
+#[derive(Debug)]
+pub struct FullCostDelta<P: Problem> {
+    inner: P,
+    saved: std::cell::RefCell<Option<P::State>>,
+}
+
+impl<P: Problem> FullCostDelta<P> {
+    /// Wraps a problem for the delta loop.
+    pub fn new(inner: P) -> FullCostDelta<P> {
+        FullCostDelta {
+            inner,
+            saved: std::cell::RefCell::new(None),
+        }
+    }
+
+    /// The wrapped problem.
+    pub fn inner(&self) -> &P {
+        &self.inner
+    }
+}
+
+impl<P: Problem> Problem for FullCostDelta<P> {
+    type State = P::State;
+
+    fn initial_state(&self) -> P::State {
+        self.inner.initial_state()
+    }
+
+    fn cost(&self, state: &P::State) -> f64 {
+        self.inner.cost(state)
+    }
+
+    fn perturb<R: Rng>(&self, state: &mut P::State, rng: &mut R) {
+        self.inner.perturb(state, rng);
+    }
+}
+
+impl<P: Problem> DeltaProblem for FullCostDelta<P> {
+    fn propose<R: Rng>(&self, state: &mut P::State, rng: &mut R) -> f64 {
+        *self.saved.borrow_mut() = Some(state.clone());
+        self.inner.perturb(state, rng);
+        self.inner.cost(state)
+    }
+
+    fn undo(&self, state: &mut P::State) {
+        if let Some(previous) = self.saved.borrow_mut().take() {
+            *state = previous;
+        }
+    }
+}
+
 /// Statistics of one annealing run.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct AnnealStats {
@@ -260,6 +371,18 @@ impl Annealer {
         P: Problem,
         F: FnMut(&Checkpoint<P::State>),
     {
+        let (seed, state) = self.validated_checkpoint_state(checkpoint)?;
+        Ok(self.run_loop(problem, seed, state, control, &mut sink))
+    }
+
+    /// Validates a checkpoint (format version, schedule, finiteness,
+    /// internal consistency) and converts it into a resumable
+    /// [`LoopState`] — shared by the full-cost and delta resume paths so
+    /// the two cannot drift.
+    fn validated_checkpoint_state<S>(
+        &self,
+        checkpoint: Checkpoint<S>,
+    ) -> Result<(u64, LoopState<S>), AnnealError> {
         if checkpoint.version != FORMAT_VERSION {
             return Err(AnnealError::CheckpointVersion {
                 found: checkpoint.version,
@@ -307,7 +430,131 @@ impl Annealer {
             stats: checkpoint.stats,
             snapshots: checkpoint.snapshots,
         };
-        Ok(self.run_loop(problem, seed, state, control, &mut sink))
+        Ok((seed, state))
+    }
+
+    /// Runs one seeded annealing optimization through the incremental
+    /// [`DeltaProblem`] move protocol.
+    ///
+    /// For a problem whose delta costs are bit-identical to its full
+    /// costs (the [`DeltaProblem`] contract), this produces exactly the
+    /// same result as [`Annealer::run`] — same best state, cost,
+    /// statistics, and snapshots — while paying only the incremental
+    /// evaluation cost per move.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the initial rebased cost is non-finite (a violated
+    /// [`DeltaProblem::rebase`] contract). Use
+    /// [`Annealer::run_controlled_delta`] for a typed [`AnnealError`]
+    /// instead.
+    pub fn run_delta<P: DeltaProblem>(&self, problem: &P, seed: u64) -> AnnealResult<P::State> {
+        match self.run_controlled_delta(problem, seed, &RunControl::unlimited()) {
+            Ok(result) => result,
+            // irgrid-lint: allow(P1): documented panicking wrapper; run_controlled_delta is the typed path
+            Err(err) => panic!("delta annealing run failed: {err}"),
+        }
+    }
+
+    /// Like [`Annealer::run_controlled`], but through the incremental
+    /// [`DeltaProblem`] move protocol.
+    pub fn run_controlled_delta<P: DeltaProblem>(
+        &self,
+        problem: &P,
+        seed: u64,
+        control: &RunControl,
+    ) -> Result<AnnealResult<P::State>, AnnealError> {
+        self.run_with_checkpoints_delta(problem, seed, control, |_| {})
+    }
+
+    /// Like [`Annealer::run_with_checkpoints`], but through the
+    /// incremental [`DeltaProblem`] move protocol. Checkpoints carry only
+    /// the state (never the problem's retained session), so a checkpoint
+    /// written by this path resumes identically through either
+    /// [`Annealer::resume`] or [`Annealer::resume_delta`].
+    pub fn run_with_checkpoints_delta<P, F>(
+        &self,
+        problem: &P,
+        seed: u64,
+        control: &RunControl,
+        mut sink: F,
+    ) -> Result<AnnealResult<P::State>, AnnealError>
+    where
+        P: DeltaProblem,
+        F: FnMut(&Checkpoint<P::State>),
+    {
+        self.schedule.validated()?;
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let current = problem.initial_state();
+        let current_cost = problem.rebase(&current);
+        if !current_cost.is_finite() {
+            return Err(AnnealError::NonFiniteInitialCost { cost: current_cost });
+        }
+
+        let initial_temperature = self.estimate_initial_temperature(problem, &mut rng)?;
+        // Temperature estimation random-walks a scratch state through the
+        // full-cost path; re-anchor the retained session on the actual
+        // starting state before the move loop begins.
+        let current_cost = problem.rebase(&current);
+        if !current_cost.is_finite() {
+            return Err(AnnealError::NonFiniteInitialCost { cost: current_cost });
+        }
+        let state = LoopState {
+            rng,
+            best: current.clone(),
+            best_cost: current_cost,
+            current,
+            current_cost,
+            temperature: initial_temperature,
+            initial_temperature,
+            steps_done: 0,
+            stats: AnnealStats {
+                initial_temperature,
+                final_temperature: initial_temperature,
+                ..AnnealStats::default()
+            },
+            snapshots: Vec::new(),
+        };
+        Ok(self.run_loop_delta(problem, seed, state, control, &mut sink))
+    }
+
+    /// Resumes a checkpointed run through the incremental
+    /// [`DeltaProblem`] move protocol.
+    ///
+    /// The problem's retained session is re-anchored on the checkpoint's
+    /// current state via [`DeltaProblem::rebase`]; for a
+    /// contract-conforming problem the rebased cost equals the
+    /// checkpoint's recorded `current_cost`, so resuming here is
+    /// bit-identical to resuming through [`Annealer::resume`].
+    pub fn resume_delta<P: DeltaProblem>(
+        &self,
+        problem: &P,
+        checkpoint: Checkpoint<P::State>,
+        control: &RunControl,
+    ) -> Result<AnnealResult<P::State>, AnnealError> {
+        self.resume_with_checkpoints_delta(problem, checkpoint, control, |_| {})
+    }
+
+    /// Like [`Annealer::resume_delta`], additionally emitting checkpoints
+    /// on the control's cadence.
+    pub fn resume_with_checkpoints_delta<P, F>(
+        &self,
+        problem: &P,
+        checkpoint: Checkpoint<P::State>,
+        control: &RunControl,
+        mut sink: F,
+    ) -> Result<AnnealResult<P::State>, AnnealError>
+    where
+        P: DeltaProblem,
+        F: FnMut(&Checkpoint<P::State>),
+    {
+        let (seed, mut state) = self.validated_checkpoint_state(checkpoint)?;
+        let rebased = problem.rebase(&state.current);
+        if !rebased.is_finite() {
+            return Err(AnnealError::NonFiniteInitialCost { cost: rebased });
+        }
+        state.current_cost = rebased;
+        Ok(self.run_loop_delta(problem, seed, state, control, &mut sink))
     }
 
     /// The shared temperature loop. `state` is either a fresh start or a
@@ -406,6 +653,121 @@ impl Annealer {
             }
             // Frozen: a full step with no accepted move cannot thaw at a
             // lower temperature.
+            if step_accepted == 0 {
+                break StopReason::Frozen;
+            }
+            st.temperature *= self.schedule.cooling;
+
+            if let Some(every) = control.checkpoint_every {
+                if st.steps_done % every == 0 {
+                    sink(&boundary_checkpoint(self.schedule, seed, &st));
+                }
+            }
+        };
+
+        AnnealResult {
+            best: st.best,
+            best_cost: st.best_cost,
+            stats: st.stats,
+            snapshots: st.snapshots,
+            stop_reason,
+        }
+    }
+
+    /// The incremental counterpart of [`Annealer::run_loop`]: identical
+    /// control flow, stop reasons, statistics, and RNG consumption, with
+    /// the clone-perturb-cost move replaced by the
+    /// [`DeltaProblem`] propose/commit/undo protocol.
+    ///
+    /// The two loops are deliberately line-for-line parallel: any edit to
+    /// one must be mirrored in the other, or delta runs stop being
+    /// bit-identical to full-cost runs.
+    fn run_loop_delta<P: DeltaProblem>(
+        &self,
+        problem: &P,
+        seed: u64,
+        mut st: LoopState<P::State>,
+        control: &RunControl,
+        sink: &mut dyn FnMut(&Checkpoint<P::State>),
+    ) -> AnnealResult<P::State> {
+        /// Mirrors [`Annealer::run_loop`]'s poll cadence exactly.
+        const POLL_INTERVAL: usize = 64;
+
+        let min_temperature = st.initial_temperature * self.schedule.min_temperature_ratio;
+        let mut moves_done = (st.stats.accepted + st.stats.rejected) as u64;
+
+        let stop_reason = 'outer: loop {
+            if st.steps_done >= self.schedule.max_temperatures {
+                break StopReason::MaxTemperatures;
+            }
+            if st.temperature < min_temperature {
+                break StopReason::Converged;
+            }
+            if control.step_budget_hit(st.steps_done) {
+                sink(&boundary_checkpoint(self.schedule, seed, &st));
+                break StopReason::StepBudget;
+            }
+            if control.cancel_hit() {
+                break StopReason::Cancelled;
+            }
+            if control.deadline_hit() {
+                break StopReason::Deadline;
+            }
+
+            let mut step_accepted = 0usize;
+            for move_index in 0..self.schedule.moves_per_temperature {
+                if control.budget_hit(moves_done) {
+                    break 'outer StopReason::MoveBudget;
+                }
+                if move_index % POLL_INTERVAL == POLL_INTERVAL - 1 {
+                    if control.cancel_hit() {
+                        break 'outer StopReason::Cancelled;
+                    }
+                    if control.deadline_hit() {
+                        break 'outer StopReason::Deadline;
+                    }
+                }
+
+                let candidate_cost = problem.propose(&mut st.current, &mut st.rng);
+                if !candidate_cost.is_finite() {
+                    // Roll the state back so `best`/`current` invariants
+                    // hold in the returned partial result, then stop as
+                    // the full-cost loop does.
+                    problem.undo(&mut st.current);
+                    break 'outer StopReason::CostError;
+                }
+                moves_done += 1;
+                let delta = candidate_cost - st.current_cost;
+                let accept = delta <= 0.0 || st.rng.gen::<f64>() < (-delta / st.temperature).exp();
+                if accept {
+                    problem.commit();
+                    st.current_cost = candidate_cost;
+                    step_accepted += 1;
+                    st.stats.accepted += 1;
+                    if st.current_cost < st.best_cost {
+                        st.best = st.current.clone();
+                        st.best_cost = st.current_cost;
+                    }
+                } else {
+                    problem.undo(&mut st.current);
+                    st.stats.rejected += 1;
+                }
+            }
+
+            st.stats.temperatures += 1;
+            st.steps_done += 1;
+            st.stats.final_temperature = st.temperature;
+            if self.schedule.snapshot_per_temperature {
+                st.snapshots.push(TemperatureSnapshot {
+                    temperature: st.temperature,
+                    current_state: st.current.clone(),
+                    current_cost: st.current_cost,
+                    best_state: st.best.clone(),
+                    best_cost: st.best_cost,
+                    acceptance_ratio: step_accepted as f64
+                        / self.schedule.moves_per_temperature as f64,
+                });
+            }
             if step_accepted == 0 {
                 break StopReason::Frozen;
             }
@@ -1000,5 +1362,204 @@ mod tests {
             .run_controlled(&PoisonedNeighbourhood, 1, &RunControl::unlimited())
             .unwrap_err();
         assert!(matches!(err, AnnealError::NonFiniteEstimationCost { .. }));
+    }
+
+    #[test]
+    fn delta_loop_is_bit_identical_to_full_cost_loop() {
+        let annealer = Annealer::new(Schedule::quick());
+        let wrapped = FullCostDelta::new(Bowl);
+        for seed in [0, 1, 7, 42, 99] {
+            let plain = annealer.run(&Bowl, seed);
+            let delta = annealer.run_delta(&wrapped, seed);
+            assert_eq!(plain.best, delta.best, "seed {seed}");
+            assert_eq!(plain.best_cost.to_bits(), delta.best_cost.to_bits());
+            assert_eq!(plain.stats, delta.stats);
+            assert_eq!(plain.stop_reason, delta.stop_reason);
+        }
+    }
+
+    #[test]
+    fn delta_loop_matches_full_cost_snapshots() {
+        let schedule = Schedule {
+            snapshot_per_temperature: true,
+            ..Schedule::quick()
+        };
+        let annealer = Annealer::new(schedule);
+        let plain = annealer.run(&Bowl, 5);
+        let delta = annealer.run_delta(&FullCostDelta::new(Bowl), 5);
+        assert_eq!(plain.snapshots.len(), delta.snapshots.len());
+        for (a, b) in plain.snapshots.iter().zip(&delta.snapshots) {
+            assert_eq!(a.temperature.to_bits(), b.temperature.to_bits());
+            assert_eq!(a.current_state, b.current_state);
+            assert_eq!(a.current_cost.to_bits(), b.current_cost.to_bits());
+            assert_eq!(a.best_cost.to_bits(), b.best_cost.to_bits());
+        }
+    }
+
+    #[test]
+    fn delta_segmented_resume_is_bit_identical() {
+        let annealer = Annealer::new(Schedule::quick());
+        let uninterrupted = annealer.run(&Bowl, 42);
+        let wrapped = FullCostDelta::new(Bowl);
+
+        let mut checkpoint = None;
+        let mut result = annealer
+            .run_with_checkpoints_delta(
+                &wrapped,
+                42,
+                &RunControl::unlimited().with_step_budget(4),
+                |c| checkpoint = Some(c.clone()),
+            )
+            .expect("finite costs");
+        let mut budget = 4;
+        while result.stop_reason == StopReason::StepBudget {
+            budget += 4;
+            let from = checkpoint.take().expect("budget stop emits a checkpoint");
+            result = annealer
+                .resume_with_checkpoints_delta(
+                    &wrapped,
+                    from,
+                    &RunControl::unlimited().with_step_budget(budget),
+                    |c| checkpoint = Some(c.clone()),
+                )
+                .expect("valid checkpoint");
+        }
+        assert_eq!(result.best, uninterrupted.best);
+        assert_eq!(
+            result.best_cost.to_bits(),
+            uninterrupted.best_cost.to_bits()
+        );
+        assert_eq!(result.stats, uninterrupted.stats);
+        assert_eq!(result.stop_reason, uninterrupted.stop_reason);
+    }
+
+    #[test]
+    fn delta_checkpoint_resumes_through_full_cost_path() {
+        // A checkpoint written by the delta loop carries no session state,
+        // so the full-cost resume path continues it bit-identically.
+        let annealer = Annealer::new(Schedule::quick());
+        let uninterrupted = annealer.run(&Bowl, 13);
+        let mut checkpoint = None;
+        annealer
+            .run_with_checkpoints_delta(
+                &FullCostDelta::new(Bowl),
+                13,
+                &RunControl::unlimited().with_step_budget(6),
+                |c| checkpoint = Some(c.clone()),
+            )
+            .expect("finite costs");
+        let resumed = annealer
+            .resume(
+                &Bowl,
+                checkpoint.expect("budget stop emits a checkpoint"),
+                &RunControl::unlimited(),
+            )
+            .expect("valid checkpoint");
+        assert_eq!(resumed.best, uninterrupted.best);
+        assert_eq!(resumed.stats, uninterrupted.stats);
+        assert_eq!(resumed.stop_reason, uninterrupted.stop_reason);
+    }
+
+    #[test]
+    fn delta_move_budget_stops_exactly() {
+        let annealer = Annealer::new(Schedule::quick());
+        let result = annealer
+            .run_controlled_delta(
+                &FullCostDelta::new(Bowl),
+                3,
+                &RunControl::unlimited().with_move_budget(100),
+            )
+            .expect("finite costs");
+        assert_eq!(result.stop_reason, StopReason::MoveBudget);
+        assert_eq!(result.stats.accepted + result.stats.rejected, 100);
+    }
+
+    #[test]
+    fn delta_nan_mid_run_undoes_and_stops_gracefully() {
+        let annealer = Annealer::new(Schedule::quick());
+        let result = annealer
+            .run_controlled_delta(
+                &FullCostDelta::new(PoisonedSlope),
+                1,
+                &RunControl::unlimited(),
+            )
+            .expect("initial cost is finite");
+        assert_eq!(result.stop_reason, StopReason::CostError);
+        assert!(result.best <= 200);
+        assert!(result.best_cost.is_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "delta annealing run failed")]
+    fn plain_delta_run_panics_on_nan_initial_cost() {
+        let _ = Annealer::new(Schedule::quick()).run_delta(&FullCostDelta::new(AlwaysNan), 1);
+    }
+
+    /// Counts protocol calls to verify every propose is paired with
+    /// exactly one commit or undo.
+    struct CountingDelta {
+        inner: FullCostDelta<Bowl>,
+        rebases: std::cell::Cell<usize>,
+        proposes: std::cell::Cell<usize>,
+        commits: std::cell::Cell<usize>,
+        undos: std::cell::Cell<usize>,
+    }
+
+    impl CountingDelta {
+        fn new() -> CountingDelta {
+            CountingDelta {
+                inner: FullCostDelta::new(Bowl),
+                rebases: std::cell::Cell::new(0),
+                proposes: std::cell::Cell::new(0),
+                commits: std::cell::Cell::new(0),
+                undos: std::cell::Cell::new(0),
+            }
+        }
+    }
+
+    impl Problem for CountingDelta {
+        type State = i64;
+        fn initial_state(&self) -> i64 {
+            self.inner.initial_state()
+        }
+        fn cost(&self, s: &i64) -> f64 {
+            self.inner.cost(s)
+        }
+        fn perturb<R: Rng>(&self, s: &mut i64, rng: &mut R) {
+            self.inner.perturb(s, rng);
+        }
+    }
+
+    impl DeltaProblem for CountingDelta {
+        fn rebase(&self, state: &i64) -> f64 {
+            self.rebases.set(self.rebases.get() + 1);
+            self.inner.rebase(state)
+        }
+        fn propose<R: Rng>(&self, state: &mut i64, rng: &mut R) -> f64 {
+            self.proposes.set(self.proposes.get() + 1);
+            self.inner.propose(state, rng)
+        }
+        fn commit(&self) {
+            self.commits.set(self.commits.get() + 1);
+            self.inner.commit();
+        }
+        fn undo(&self, state: &mut i64) {
+            self.undos.set(self.undos.get() + 1);
+            self.inner.undo(state);
+        }
+    }
+
+    #[test]
+    fn every_propose_pairs_with_one_commit_or_undo() {
+        let annealer = Annealer::new(Schedule::quick());
+        let problem = CountingDelta::new();
+        let result = annealer.run_delta(&problem, 9);
+        assert!(problem.rebases.get() >= 1);
+        assert_eq!(
+            problem.proposes.get(),
+            problem.commits.get() + problem.undos.get()
+        );
+        assert_eq!(problem.commits.get(), result.stats.accepted);
+        assert_eq!(problem.undos.get(), result.stats.rejected);
     }
 }

@@ -49,6 +49,16 @@
 //! * Non-finite costs are surfaced as typed [`AnnealError`]s (at startup)
 //!   or a graceful [`StopReason::CostError`] (mid-run) instead of
 //!   corrupting the best state.
+//!
+//! # Incremental evaluation
+//!
+//! Problems that can re-evaluate cost in O(changed components) per move
+//! implement [`DeltaProblem`] and run through [`Annealer::run_delta`]
+//! (and its controlled/checkpointed/resumed variants). The delta loop
+//! consumes the same RNG stream as the full-cost loop, so for a
+//! contract-conforming problem the two produce bit-identical results;
+//! [`FullCostDelta`] adapts any [`Problem`] to the delta protocol by
+//! falling back to full-cost evaluation.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -60,5 +70,7 @@ mod schedule;
 
 pub use checkpoint::{Checkpoint, CheckpointIoError, FORMAT_VERSION};
 pub use control::{AnnealError, CancelToken, RunControl, StopReason};
-pub use engine::{AnnealResult, AnnealStats, Annealer, Problem, TemperatureSnapshot};
+pub use engine::{
+    AnnealResult, AnnealStats, Annealer, DeltaProblem, FullCostDelta, Problem, TemperatureSnapshot,
+};
 pub use schedule::{Schedule, ScheduleError};

@@ -1,0 +1,129 @@
+//! Incremental (delta) congestion evaluation vs full rebuild, per SA
+//! move. Each "move" replaces one segment of the workload — the
+//! single-net change an annealing step typically makes — and is scored
+//! either by a warm [`IrDeltaEvaluator`] session (propose + undo, the
+//! rejected-move path that dominates SA at low temperature) or by a
+//! from-scratch rebase. Fixtures are synthetic segment sets
+//! (deterministic LCG) so the benches measure the evaluator, not the
+//! annealer.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use irgrid::congestion::{DeltaCongestion, DeltaCongestionSession, IrregularGridModel};
+use irgrid::geom::{Point, Rect, Um};
+
+/// `(label, segment count, chip extent in µm)` — small fits one IR-grid
+/// handful, large approaches an ami49-scale map.
+const SIZES: [(&str, usize, i64); 3] = [
+    ("small", 12, 900),
+    ("medium", 80, 3000),
+    ("large", 250, 9000),
+];
+
+/// Deterministic pseudo-random segments; the fixture must not drift
+/// between benchmark runs.
+fn synthetic_segments(n: usize, extent: i64) -> Vec<(Point, Point)> {
+    let mut state = 0x2545_F491_4F6C_DD1Du64;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((state >> 33) as i64).rem_euclid(extent)
+    };
+    (0..n)
+        .map(|_| {
+            (
+                Point::new(Um(next()), Um(next())),
+                Point::new(Um(next()), Um(next())),
+            )
+        })
+        .collect()
+}
+
+fn chip(extent: i64) -> Rect {
+    Rect::from_origin_size(Point::ORIGIN, Um(extent), Um(extent))
+}
+
+/// One "move": nudge segment `i` by a fixed offset, keeping it inside
+/// the chip. Deterministic so both configurations score the same edit.
+fn moved(segments: &[(Point, Point)], i: usize, extent: i64) -> Vec<(Point, Point)> {
+    let mut edited = segments.to_vec();
+    let slot = i % edited.len();
+    let (a, b) = edited[slot];
+    let shift = |p: Point| Point::new(Um((p.x.0 + 37).rem_euclid(extent)), p.y);
+    edited[slot] = (shift(a), shift(b));
+    edited
+}
+
+/// Warm delta session scoring a one-segment edit (propose, then undo —
+/// the rejected-move path) vs a from-scratch rebase of the same edit.
+fn bench_delta_vs_rebuild(c: &mut Criterion) {
+    let mut group = c.benchmark_group("congestion_delta");
+    for (label, n, extent) in SIZES {
+        let chip = chip(extent);
+        let segments = synthetic_segments(n, extent - 10);
+        let model = IrregularGridModel::new(Um(30));
+
+        let mut session = model.delta_session();
+        session.rebase(&chip, &segments);
+        let mut step = 0usize;
+        group.bench_with_input(
+            BenchmarkId::new("delta_move", label),
+            &segments,
+            |b, segments| {
+                b.iter(|| {
+                    step = step.wrapping_add(1);
+                    let edited = moved(segments, step, extent - 10);
+                    let cost = session.propose(black_box(&chip), black_box(&edited));
+                    session.undo();
+                    cost
+                })
+            },
+        );
+
+        let mut scratch = model.delta_session();
+        let mut step = 0usize;
+        group.bench_with_input(
+            BenchmarkId::new("full_rebuild", label),
+            &segments,
+            |b, segments| {
+                b.iter(|| {
+                    step = step.wrapping_add(1);
+                    let edited = moved(segments, step, extent - 10);
+                    scratch.rebase(black_box(&chip), black_box(&edited))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Accepted-move path: propose + commit, so the session's committed
+/// snapshot advances every iteration (no memo fast path from repeating
+/// the identical grid).
+fn bench_delta_commit_chain(c: &mut Criterion) {
+    let mut group = c.benchmark_group("congestion_delta_commit");
+    group.sample_size(30);
+    let (label, n, extent) = SIZES[1];
+    let chip = chip(extent);
+    let segments = synthetic_segments(n, extent - 10);
+    let mut session = IrregularGridModel::new(Um(30)).delta_session();
+    session.rebase(&chip, &segments);
+    let mut step = 0usize;
+    group.bench_with_input(
+        BenchmarkId::new("propose_commit", label),
+        &segments,
+        |b, segments| {
+            b.iter(|| {
+                step = step.wrapping_add(1);
+                let edited = moved(segments, step, extent - 10);
+                let cost = session.propose(black_box(&chip), black_box(&edited));
+                session.commit();
+                cost
+            })
+        },
+    );
+    group.finish();
+}
+
+criterion_group!(benches, bench_delta_vs_rebuild, bench_delta_commit_chain);
+criterion_main!(benches);

@@ -33,6 +33,11 @@
 //!   --resume DIR      resume runs from matching checkpoints in DIR
 //!                     (for fleet: resume from the fleet manifest in DIR)
 //!   --threads N       congestion-perf: benchmark N threads instead of 2 and 4
+//!                     (also forces the parallel rows on single-CPU hosts,
+//!                     where they are otherwise skipped)
+//!   --delta           congestion-perf: verify and time the incremental
+//!                     (delta) annealing loop; adds `delta_equivalent` and
+//!                     `sa_delta_moves_per_s` to the report
 //!   --out FILE        report path (congestion-perf, fleet, serve-bench)
 //!
 //! serve-bench flags:

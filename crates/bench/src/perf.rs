@@ -20,15 +20,25 @@
 //! (`sa_moves_per_s`) because the retained session's win is only real if
 //! it survives the full move loop, and records `cpu_count` so a reader
 //! can tell whether parallel speedups were physically possible on the
-//! machine that produced the numbers.
+//! machine that produced the numbers. On a single-CPU host the parallel
+//! rows are skipped entirely (unless `--threads` forces them) and
+//! `parallel_skipped_reason` records why — timing thread fan-out with one
+//! core measures scheduler overhead, not the engine.
+//!
+//! With `--delta` the report additionally times the incremental
+//! ([`DeltaProblem`](irgrid::anneal::DeltaProblem)) annealing loop and
+//! re-verifies on the spot that every incremental cost is bit-identical
+//! to from-scratch evaluation (`delta_equivalent`); the command aborts
+//! rather than report a mismatching build.
 
 use std::time::Instant;
 
-use irgrid::anneal::{Annealer, Schedule};
+use irgrid::anneal::{Annealer, DeltaProblem, Problem, Schedule};
 use irgrid::congestion::{CongestionModel, IrregularGridModel, RetainedCongestion};
 use irgrid::floorplanner::{FloorplanProblem, Weights};
 use irgrid::geom::{Point, Rect, Um};
 use irgrid::netlist::mcnc::McncCircuit;
+use rand::SeedableRng;
 use serde::Serialize;
 
 use crate::common::{die, flag_value, Mode};
@@ -50,8 +60,12 @@ struct Report {
     retained_serial_maps_per_s: f64,
     /// `retained_serial / baseline` — the allocation + table-rebuild win.
     serial_speedup_vs_baseline: f64,
-    /// One row per parallel thread count.
+    /// One row per parallel thread count; empty when the host cannot
+    /// exercise parallelism (see `parallel_skipped_reason`).
     parallel: Vec<ParallelRow>,
+    /// Why the parallel rows are empty, when they are. `None` whenever
+    /// rows were measured.
+    parallel_skipped_reason: Option<String>,
     /// Runtime re-check that every parallel map matched serial bit for
     /// bit (the build aborts instead of reporting `false`).
     bit_identical: bool,
@@ -59,6 +73,16 @@ struct Report {
     sa_moves: usize,
     sa_seconds: f64,
     sa_moves_per_s: f64,
+    /// Runtime re-check that the incremental (`--delta`) loop scores
+    /// bit-identically to from-scratch evaluation; the command aborts
+    /// instead of reporting `false`. `None` without `--delta`.
+    delta_equivalent: Option<bool>,
+    /// Annealer throughput through the incremental delta loop.
+    sa_delta_moves: Option<usize>,
+    sa_delta_seconds: Option<f64>,
+    sa_delta_moves_per_s: Option<f64>,
+    /// `sa_delta_moves_per_s / sa_moves_per_s`.
+    delta_speedup_vs_full: Option<f64>,
 }
 
 #[derive(Debug, Serialize)]
@@ -91,6 +115,8 @@ fn throughput(evaluations: usize, repeats: usize, mut eval: impl FnMut() -> f64)
 /// Runs the benchmark and writes/prints the JSON report.
 pub fn run(mode: &Mode, circuit: McncCircuit, args: &[String]) {
     let out_path = flag_value(args, "--out").unwrap_or("BENCH_congestion.json");
+    let cpu_count = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut parallel_skipped_reason = None;
     let thread_counts: Vec<usize> = match flag_value(args, "--threads") {
         Some(text) => {
             let threads: usize = text
@@ -101,9 +127,18 @@ pub fn run(mode: &Mode, circuit: McncCircuit, args: &[String]) {
             }
             vec![threads]
         }
+        None if cpu_count <= 1 => {
+            // Thread fan-out on one core only measures context-switch
+            // overhead; the rows would read as a (bogus) slowdown.
+            parallel_skipped_reason = Some(format!(
+                "host exposes {cpu_count} logical CPU(s); pass --threads to force measurement"
+            ));
+            Vec::new()
+        }
         None => vec![2, 4],
     };
     let quick = args.iter().any(|a| a == "--quick");
+    let delta = args.iter().any(|a| a == "--delta");
     let (evaluations, repeats) = if quick { (20, 3) } else { (60, 5) };
 
     crate::common::header(&format!("congestion-perf ({})", circuit.name()), mode);
@@ -171,10 +206,62 @@ pub fn run(mode: &Mode, circuit: McncCircuit, args: &[String]) {
     let sa_run = Annealer::new(sa_schedule).run(&problem, 7);
     let sa_seconds = sa_start.elapsed().as_secs_f64();
     let sa_moves = sa_run.stats.accepted + sa_run.stats.rejected;
+    let sa_moves_per_s = sa_moves as f64 / sa_seconds;
+
+    // --delta: verify bit-exact equivalence of the incremental loop, then
+    // time it on the identical problem and seed.
+    let mut delta_equivalent = None;
+    let mut sa_delta_moves = None;
+    let mut sa_delta_seconds = None;
+    let mut sa_delta_moves_per_s = None;
+    let mut delta_speedup_vs_full = None;
+    if delta {
+        // Hand-driven move protocol: every incremental cost must equal a
+        // from-scratch rebase on an identical second problem, across a
+        // mix of accepted and rejected moves. An assert (not a report
+        // field flip) so a broken build can never publish timings.
+        let incremental =
+            FloorplanProblem::new(&netlist, pitch, Weights::routability(), Some(model));
+        let scratch = FloorplanProblem::new(&netlist, pitch, Weights::routability(), Some(model));
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0xbe7c);
+        let mut state = incremental.initial_state();
+        let rebased = incremental.rebase(&state);
+        assert_eq!(
+            rebased.to_bits(),
+            scratch.rebase(&state).to_bits(),
+            "delta rebase diverged from from-scratch evaluation"
+        );
+        let checks = if quick { 24 } else { 60 };
+        for step in 0..checks {
+            let proposed = incremental.propose(&mut state, &mut rng);
+            let reference = scratch.rebase(&state);
+            assert_eq!(
+                proposed.to_bits(),
+                reference.to_bits(),
+                "step {step}: incremental cost {proposed} != from-scratch {reference}"
+            );
+            if step % 3 == 0 {
+                incremental.commit();
+            } else {
+                incremental.undo(&mut state);
+            }
+        }
+        delta_equivalent = Some(true);
+
+        let delta_start = Instant::now();
+        let delta_run = Annealer::new(sa_schedule).run_delta(&problem, 7);
+        let seconds = delta_start.elapsed().as_secs_f64();
+        let moves = delta_run.stats.accepted + delta_run.stats.rejected;
+        sa_delta_moves = Some(moves);
+        sa_delta_seconds = Some(seconds);
+        let throughput = moves as f64 / seconds;
+        sa_delta_moves_per_s = Some(throughput);
+        delta_speedup_vs_full = Some(throughput / sa_moves_per_s);
+    }
 
     let report = Report {
         circuit: circuit.name(),
-        cpu_count: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        cpu_count,
         evaluations,
         segments: segments.len(),
         ir_cells,
@@ -182,10 +269,16 @@ pub fn run(mode: &Mode, circuit: McncCircuit, args: &[String]) {
         retained_serial_maps_per_s,
         serial_speedup_vs_baseline: retained_serial_maps_per_s / baseline_maps_per_s,
         parallel,
+        parallel_skipped_reason,
         bit_identical: true,
         sa_moves,
         sa_seconds,
-        sa_moves_per_s: sa_moves as f64 / sa_seconds,
+        sa_moves_per_s,
+        delta_equivalent,
+        sa_delta_moves,
+        sa_delta_seconds,
+        sa_delta_moves_per_s,
+        delta_speedup_vs_full,
     };
     crate::report::emit(out_path, &report);
 }

@@ -166,6 +166,14 @@ impl crate::RetainedCongestion for FixedGridModel {
     }
 }
 
+impl crate::DeltaCongestion for FixedGridModel {
+    type DeltaSession = crate::StatelessDeltaSession<FixedGridModel>;
+
+    fn delta_session(&self) -> Self::DeltaSession {
+        crate::StatelessDeltaSession::new(*self)
+    }
+}
+
 /// The per-grid congestion values produced by [`FixedGridModel`].
 #[derive(Debug, Clone)]
 pub struct FixedCongestionMap {

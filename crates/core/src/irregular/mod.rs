@@ -9,10 +9,12 @@
 
 mod approx;
 mod cutlines;
+mod delta;
 mod evaluator;
 mod exact;
 
 pub use approx::{block_probability_approx, function1_approx, function1_exact, ApproxConfig};
+pub use delta::IrDeltaEvaluator;
 pub use evaluator::CongestionEvaluator;
 pub use exact::block_probability_exact;
 
@@ -179,6 +181,14 @@ impl crate::RetainedCongestion for IrregularGridModel {
 
     fn session(&self) -> CongestionEvaluator {
         CongestionEvaluator::new(*self)
+    }
+}
+
+impl crate::DeltaCongestion for IrregularGridModel {
+    type DeltaSession = IrDeltaEvaluator;
+
+    fn delta_session(&self) -> IrDeltaEvaluator {
+        IrDeltaEvaluator::new(*self)
     }
 }
 

@@ -50,7 +50,8 @@ pub mod score;
 pub use fixed::{CellArithmetic, FixedCongestionMap, FixedGridModel};
 pub use grid::UnitGrid;
 pub use irregular::{
-    ApproxConfig, CongestionEvaluator, Evaluator, IrCongestionMap, IrregularGridModel,
+    ApproxConfig, CongestionEvaluator, Evaluator, IrCongestionMap, IrDeltaEvaluator,
+    IrregularGridModel,
 };
 pub use lz::{LzCongestionMap, LzShapeModel};
 pub use routing::{NetType, RoutingRange};
@@ -114,5 +115,114 @@ impl<M: CongestionModel> StatelessSession<M> {
 impl<M: CongestionModel + std::fmt::Debug> CongestionSession for StatelessSession<M> {
     fn evaluate(&mut self, chip: &Rect, segments: &[(Point, Point)]) -> f64 {
         self.0.evaluate(chip, segments)
+    }
+}
+
+/// An incremental (delta) evaluation session minted by
+/// [`DeltaCongestion`]: the session keeps the committed floorplan's
+/// evaluation state alive and scores a *proposed* floorplan by updating
+/// only what changed, with an accept/reject protocol matching a
+/// simulated-annealing move loop.
+///
+/// # Protocol
+///
+/// `rebase` installs a floorplan as the committed state (full build).
+/// Each move then calls `propose` with the proposal's full segment list;
+/// the session diffs it against the committed state internally. The
+/// caller follows up with exactly one of `commit` (the proposal becomes
+/// the committed state) or `undo` (the proposal is discarded; `undo`
+/// without a pending proposal is a no-op returning the committed cost).
+///
+/// # Exactness
+///
+/// `propose` must be **bit-identical** to a from-scratch rebuild: for
+/// any proposal, its cost (and the session's congestion totals) equal
+/// what `rebase` on a *fresh* session would produce for the same input.
+/// Implementations achieve this with integer (fixed-point) accumulation
+/// — see [`num::quantize_probability`] — not with tolerances. Note the
+/// quantized cost is a distinct (deterministic) quantity from the `f64`
+/// [`CongestionModel::evaluate`] pipeline; the two agree to ~2⁻³² per
+/// cell but not bit-for-bit.
+///
+/// Object-safe so problem types can hold `Box<dyn DeltaCongestionSession>`
+/// without growing extra generic parameters.
+pub trait DeltaCongestionSession: std::fmt::Debug {
+    /// Full build: installs `segments` on `chip` as the committed state
+    /// and returns its cost. Discards any pending proposal.
+    fn rebase(&mut self, chip: &Rect, segments: &[(Point, Point)]) -> f64;
+
+    /// Scores a proposed floorplan incrementally against the committed
+    /// state and returns the proposal's cost. Replaces any pending
+    /// proposal; does not change the committed state.
+    fn propose(&mut self, chip: &Rect, segments: &[(Point, Point)]) -> f64;
+
+    /// Promotes the pending proposal to committed state (no-op when no
+    /// proposal is pending).
+    fn commit(&mut self);
+
+    /// Discards the pending proposal and returns the committed cost.
+    fn undo(&mut self) -> f64;
+}
+
+/// A congestion model that can mint incremental [`DeltaCongestionSession`]s.
+///
+/// Split from [`RetainedCongestion`] so models gain delta support
+/// independently; the floorplanner's delta move path requires this
+/// bound, while its full-evaluation path keeps working with any
+/// [`RetainedCongestion`].
+pub trait DeltaCongestion: RetainedCongestion {
+    /// The delta session type this model mints. `'static` so sessions
+    /// can live behind `Box<dyn DeltaCongestionSession>`.
+    type DeltaSession: DeltaCongestionSession + 'static;
+
+    /// Creates a fresh delta session with no committed state (the first
+    /// `rebase` or `propose` performs a full build).
+    fn delta_session(&self) -> Self::DeltaSession;
+}
+
+/// A trivial [`DeltaCongestionSession`] for models without incremental
+/// state: every `propose` is a full [`CongestionModel::evaluate`] and
+/// `undo` replays the remembered committed cost. Exactness is immediate
+/// — the "incremental" path *is* the from-scratch path.
+#[derive(Debug, Clone)]
+pub struct StatelessDeltaSession<M> {
+    model: M,
+    committed_cost: f64,
+    proposed_cost: Option<f64>,
+}
+
+impl<M: CongestionModel> StatelessDeltaSession<M> {
+    /// Wraps a model (usually a cheap copy of it).
+    pub fn new(model: M) -> StatelessDeltaSession<M> {
+        StatelessDeltaSession {
+            model,
+            committed_cost: 0.0,
+            proposed_cost: None,
+        }
+    }
+}
+
+impl<M: CongestionModel + std::fmt::Debug> DeltaCongestionSession for StatelessDeltaSession<M> {
+    fn rebase(&mut self, chip: &Rect, segments: &[(Point, Point)]) -> f64 {
+        self.committed_cost = self.model.evaluate(chip, segments);
+        self.proposed_cost = None;
+        self.committed_cost
+    }
+
+    fn propose(&mut self, chip: &Rect, segments: &[(Point, Point)]) -> f64 {
+        let cost = self.model.evaluate(chip, segments);
+        self.proposed_cost = Some(cost);
+        cost
+    }
+
+    fn commit(&mut self) {
+        if let Some(cost) = self.proposed_cost.take() {
+            self.committed_cost = cost;
+        }
+    }
+
+    fn undo(&mut self) -> f64 {
+        self.proposed_cost = None;
+        self.committed_cost
     }
 }

@@ -174,6 +174,14 @@ impl crate::RetainedCongestion for LzShapeModel {
     }
 }
 
+impl crate::DeltaCongestion for LzShapeModel {
+    type DeltaSession = crate::StatelessDeltaSession<LzShapeModel>;
+
+    fn delta_session(&self) -> Self::DeltaSession {
+        crate::StatelessDeltaSession::new(*self)
+    }
+}
+
 /// The per-grid congestion produced by [`LzShapeModel`].
 #[derive(Debug, Clone)]
 pub struct LzCongestionMap {

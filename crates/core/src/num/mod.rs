@@ -10,12 +10,17 @@
 //! * **the normal density** — the Theorem 1 approximation replaces the
 //!   hypergeometric-like `h(x, r, R, Q)` with a normal-like function;
 //! * **Simpson's rule** — the paper evaluates Theorem 1's definite
-//!   integrals "by Simpson's rule of integration in constant time".
+//!   integrals "by Simpson's rule of integration in constant time";
+//! * **Q32 quantization** — the delta evaluator accumulates per-cell
+//!   probabilities as integers so incremental updates are bit-identical
+//!   to a from-scratch rebuild (float addition is not associative).
 
 mod binomial;
 mod normal;
+mod quantize;
 mod simpson;
 
 pub use binomial::{binomial_f64, binomial_u128, ln_binomial, ln_gamma, LnFactorials};
-pub use normal::normal_pdf;
+pub use normal::{erf, erf_gauss_lut, erf_with_gauss, normal_cdf, normal_pdf};
+pub use quantize::{dequantize_total, quantize_probability, PROBABILITY_FRACTION_BITS};
 pub use simpson::simpson;

@@ -1,0 +1,98 @@
+//! Q32 fixed-point quantization for the delta congestion accumulator.
+//!
+//! Incremental evaluation must be bit-identical to a from-scratch
+//! rebuild, but floating-point addition is not associative: subtracting a
+//! range's old contribution and re-adding its new one visits cells in a
+//! different order than a rebuild would, so `f64` accumulation drifts.
+//! The delta evaluator therefore accumulates per-cell probabilities as
+//! integers: each probability `p ∈ [0, 1]` is quantized once to
+//! `round(p · 2³²)` and the per-cell totals are `i64` sums of those
+//! integers. Integer addition is associative and commutative, so *any*
+//! insertion/removal order reproduces the rebuild totals exactly — no
+//! tolerance band and no periodic resynchronization.
+//!
+//! Headroom: a cell crossed by `n` ranges totals at most `n · 2³²`,
+//! which `i64` holds for `n` up to ~2³⁰ — far beyond any floorplan
+//! netlist. Dequantization divides by the power-of-two scale, which is
+//! exact for every total below 2⁵³ (ami49 peaks near 2⁴²).
+
+/// Fractional bits of the quantized probability representation.
+pub const PROBABILITY_FRACTION_BITS: u32 = 32;
+
+/// `2³²` as an `f64`; exact, since powers of two are representable.
+// irgrid-lint: allow(C1): 1 << 32 fits u64 and is exactly representable in f64
+const SCALE: f64 = (1u64 << PROBABILITY_FRACTION_BITS) as f64;
+
+/// Quantizes a probability to Q32 fixed point, clamping to `[0, 1]`
+/// first (scoring kernels can overshoot 1 by an ulp).
+///
+/// The result is in `0..=2³²`; quantization is deterministic (`round`
+/// ties away from zero, the IEEE default for `f64::round`).
+#[must_use]
+pub fn quantize_probability(p: f64) -> i64 {
+    let clamped = if p.is_finite() {
+        p.clamp(0.0, 1.0)
+    } else {
+        0.0
+    };
+    // irgrid-lint: allow(C1): clamped·2³² is in [0, 2³²] ⊂ i64 after round
+    (clamped * SCALE).round() as i64
+}
+
+/// Converts an `i64` sum of quantized probabilities back to `f64`.
+///
+/// Exact (hence deterministic) whenever `|total| < 2⁵³`: the division by
+/// a power of two only changes the exponent.
+#[must_use]
+pub fn dequantize_total(total: i64) -> f64 {
+    // irgrid-lint: allow(C1): totals stay far below 2⁵³, where i64→f64 is exact
+    (total as f64) / SCALE
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endpoints_are_exact() {
+        assert_eq!(quantize_probability(0.0), 0);
+        assert_eq!(quantize_probability(1.0), 1i64 << 32);
+        assert_eq!(dequantize_total(0), 0.0);
+        assert_eq!(dequantize_total(1i64 << 32), 1.0);
+    }
+
+    #[test]
+    fn out_of_range_inputs_clamp() {
+        assert_eq!(quantize_probability(-0.25), 0);
+        assert_eq!(quantize_probability(1.0 + 1e-12), 1i64 << 32);
+        assert_eq!(quantize_probability(f64::NAN), 0);
+        assert_eq!(quantize_probability(f64::INFINITY), 0);
+    }
+
+    #[test]
+    fn roundtrip_error_bounded_by_half_ulp() {
+        for k in 0..=1000 {
+            let p = f64::from(k) / 1000.0;
+            let q = quantize_probability(p);
+            assert!((dequantize_total(q) - p).abs() <= 0.5 / (SCALE));
+        }
+    }
+
+    #[test]
+    fn sums_are_order_independent() {
+        // The whole point: permuting additions/subtractions cannot change
+        // an integer total, unlike f64.
+        let parts: Vec<i64> = (0..50)
+            .map(|k| quantize_probability(f64::from(k).sin().abs()))
+            .collect();
+        let forward: i64 = parts.iter().sum();
+        let backward: i64 = parts.iter().rev().sum();
+        assert_eq!(forward, backward);
+        let mut with_churn = forward;
+        for &p in &parts {
+            with_churn -= p;
+            with_churn += p;
+        }
+        assert_eq!(with_churn, forward);
+    }
+}

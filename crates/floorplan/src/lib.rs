@@ -45,5 +45,6 @@ pub use polish::{Cut, Element, Move, PolishExpr};
 pub use repr::FloorplanRepr;
 pub use seqpair::SequencePair;
 pub use wire::{
-    net_pins, total_wirelength, two_pin_segments, two_pin_segments_with, Decomposition,
+    net_pins, net_segments, segments_wirelength, total_wirelength, two_pin_segments,
+    two_pin_segments_with, Decomposition,
 };

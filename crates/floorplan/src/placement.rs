@@ -71,6 +71,23 @@ impl Placement {
         self.area() - self.rects.iter().map(Rect::area).sum::<UmArea>()
     }
 
+    /// The modules whose placed rectangle or rotation differs from
+    /// `other`, as sorted module indices. The incremental evaluator's
+    /// move-diff primitive: after a perturbation is re-packed, only the
+    /// nets touching these modules need re-decomposing.
+    ///
+    /// Placements of different module counts are incomparable; every
+    /// module index of `self` is reported changed in that case.
+    #[must_use]
+    pub fn changed_modules(&self, other: &Placement) -> Vec<usize> {
+        if self.rects.len() != other.rects.len() {
+            return (0..self.rects.len()).collect();
+        }
+        (0..self.rects.len())
+            .filter(|&i| self.rects[i] != other.rects[i] || self.rotated[i] != other.rotated[i])
+            .collect()
+    }
+
     /// Verifies structural soundness: every module inside the chip and no
     /// two modules overlapping with positive area. Returns a description
     /// of the first violation, if any. Intended for tests and debugging
@@ -118,6 +135,33 @@ mod tests {
         assert_eq!(p.area(), UmArea(50));
         assert_eq!(p.dead_space(), UmArea(50 - 25 - 20));
         assert!(p.check_consistency().is_none());
+    }
+
+    #[test]
+    fn changed_modules_diffs_rects_and_rotation() {
+        let a = Placement::from_parts(
+            vec![rect(0, 0, 5, 5), rect(5, 0, 10, 4), rect(0, 5, 3, 8)],
+            vec![false, true, false],
+            rect(0, 0, 10, 8),
+        );
+        assert!(a.changed_modules(&a).is_empty());
+
+        let moved = Placement::from_parts(
+            vec![rect(0, 0, 5, 5), rect(5, 1, 10, 5), rect(0, 5, 3, 8)],
+            vec![false, true, false],
+            rect(0, 0, 10, 8),
+        );
+        assert_eq!(a.changed_modules(&moved), vec![1]);
+
+        let respun = Placement::from_parts(
+            vec![rect(0, 0, 5, 5), rect(5, 0, 10, 4), rect(0, 5, 3, 8)],
+            vec![true, true, false],
+            rect(0, 0, 10, 8),
+        );
+        assert_eq!(a.changed_modules(&respun), vec![0]);
+
+        let shorter = Placement::from_parts(vec![rect(0, 0, 5, 5)], vec![false], rect(0, 0, 5, 5));
+        assert_eq!(a.changed_modules(&shorter), vec![0, 1, 2]);
     }
 
     #[test]

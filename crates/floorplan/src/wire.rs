@@ -72,12 +72,32 @@ pub fn two_pin_segments_with(
 ) -> Vec<(Point, Point)> {
     net_pins(circuit, placement, placer)
         .iter()
-        .flat_map(|pins| match decomposition {
-            Decomposition::Mst => mst::decompose(pins),
-            Decomposition::Star => mst::star_decompose(pins),
-        })
-        .filter(|(a, b)| a != b)
+        .flat_map(|pins| net_segments(pins, decomposition))
         .collect()
+}
+
+/// The 2-pin segments of a single net's pins under the chosen
+/// [`Decomposition`], with zero-length segments dropped — the per-net
+/// building block of [`two_pin_segments_with`], exposed so incremental
+/// evaluators can re-decompose only the nets a move touched.
+#[must_use]
+pub fn net_segments(pins: &[Point], decomposition: Decomposition) -> Vec<(Point, Point)> {
+    let raw = match decomposition {
+        Decomposition::Mst => mst::decompose(pins),
+        Decomposition::Star => mst::star_decompose(pins),
+    };
+    raw.into_iter().filter(|(a, b)| a != b).collect()
+}
+
+/// Total Manhattan length of a segment list. With [`net_segments`]'s
+/// output this equals the net's contribution to [`total_wirelength`]
+/// exactly (dropped zero-length segments contribute nothing).
+#[must_use]
+pub fn segments_wirelength(segments: &[(Point, Point)]) -> Um {
+    segments
+        .iter()
+        .map(|(a, b)| a.manhattan_distance(*b))
+        .sum::<Um>()
 }
 
 #[cfg(test)]
@@ -169,6 +189,41 @@ mod tests {
                 .sum()
         };
         assert!(wire_of(Decomposition::Star) >= wire_of(Decomposition::Mst));
+    }
+
+    #[test]
+    fn per_net_segments_compose_to_the_global_list() {
+        let c = McncCircuit::Apte.circuit();
+        let p = pack(&PolishExpr::initial(c.modules().len()), &c);
+        let placer = PinPlacer::new(Um(60));
+        for d in [Decomposition::Mst, Decomposition::Star] {
+            let global = two_pin_segments_with(&c, &p, &placer, d);
+            let composed: Vec<(Point, Point)> = net_pins(&c, &p, &placer)
+                .iter()
+                .flat_map(|pins| net_segments(pins, d))
+                .collect();
+            assert_eq!(global, composed);
+        }
+    }
+
+    #[test]
+    fn per_net_wirelength_sums_to_total() {
+        let c = McncCircuit::Hp.circuit();
+        let p = pack(&PolishExpr::initial(c.modules().len()), &c);
+        let placer = PinPlacer::new(Um(30));
+        let total = total_wirelength(&c, &p, &placer);
+        let per_net: Um = net_pins(&c, &p, &placer)
+            .iter()
+            .map(|pins| segments_wirelength(&net_segments(pins, Decomposition::Mst)))
+            .sum();
+        assert_eq!(total, per_net);
+    }
+
+    #[test]
+    fn net_segments_drops_degenerates() {
+        let pins = vec![Point::new(Um(5), Um(5)), Point::new(Um(5), Um(5))];
+        assert!(net_segments(&pins, Decomposition::Mst).is_empty());
+        assert_eq!(segments_wirelength(&[]), Um::ZERO);
     }
 
     #[test]

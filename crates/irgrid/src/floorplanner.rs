@@ -13,14 +13,17 @@
 //! of circuit scale — without this, area (µm², ~10⁷) would drown
 //! congestion (~10⁻¹).
 
-use irgrid_anneal::Problem;
-use irgrid_core::{CongestionSession, RetainedCongestion};
+use irgrid_anneal::{DeltaProblem, Problem};
+use irgrid_core::{CongestionSession, DeltaCongestion, DeltaCongestionSession, RetainedCongestion};
 use std::cell::RefCell;
 use std::fmt;
 use std::marker::PhantomData;
 
-use irgrid_floorplan::{two_pin_segments, FloorplanRepr, PinPlacer, Placement, PolishExpr};
-use irgrid_geom::{Point, Um};
+use irgrid_floorplan::{
+    net_segments, segments_wirelength, two_pin_segments, Decomposition, FloorplanRepr, PinPlacer,
+    Placement, PolishExpr,
+};
+use irgrid_geom::{Point, Rect, Um};
 use irgrid_netlist::Circuit;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -156,10 +159,54 @@ pub struct FloorplanProblem<'c, M: RetainedCongestion, R = PolishExpr> {
     /// Interior mutability because [`Problem::cost`] takes `&self`; the
     /// annealer is single-threaded, so borrows never overlap.
     session: Option<RefCell<M::Session>>,
+    /// Retained state of the incremental ([`DeltaProblem`]) evaluation
+    /// path; `None` until the first `rebase`. Boxed dynamically so the
+    /// struct does not need `M: DeltaCongestion` — the delta path is
+    /// opt-in per model.
+    delta: RefCell<Option<DeltaState<R>>>,
     area_scale: f64,
     wire_scale: f64,
     congestion_scale: f64,
     repr: PhantomData<R>,
+}
+
+/// Committed state of the incremental evaluation: the placed floorplan
+/// decomposed per net, plus the congestion model's retained delta session.
+/// `propose` applies a move eagerly and records what it overwrote in
+/// `journal`; `undo` plays the journal back.
+#[derive(Debug)]
+struct DeltaState<R> {
+    session: Option<Box<dyn DeltaCongestionSession>>,
+    /// Module index → indices of the nets that pin it.
+    module_nets: Vec<Vec<usize>>,
+    /// Per-net dedup marks, all false between proposals.
+    net_mark: Vec<bool>,
+    /// Per-net 2-pin segments of the committed (or pending) placement.
+    net_segments: Vec<Vec<(Point, Point)>>,
+    /// Per-net Manhattan wirelength; integer µm, so incremental updates
+    /// are exact and order-independent.
+    net_wire: Vec<Um>,
+    wire_total: Um,
+    placement: Placement,
+    /// Flattened segments in net order — the same order
+    /// [`two_pin_segments`] produces, so the session scores the same
+    /// list a from-scratch evaluation would.
+    flat: Vec<(Point, Point)>,
+    journal: Option<Journal<R>>,
+}
+
+/// `(net index, segments, wirelength)` of one re-decomposed net.
+type SavedNet = (usize, Vec<(Point, Point)>, Um);
+
+/// Everything one `propose` overwrote, for exact rollback on `undo`.
+#[derive(Debug)]
+struct Journal<R> {
+    prev_repr: R,
+    prev_placement: Placement,
+    /// One entry per net the move re-decomposed.
+    prev_nets: Vec<SavedNet>,
+    prev_wire_total: Um,
+    session_proposed: bool,
 }
 
 impl<'c, M: RetainedCongestion> FloorplanProblem<'c, M, PolishExpr> {
@@ -244,6 +291,7 @@ impl<'c, M: RetainedCongestion, R: FloorplanRepr> FloorplanProblem<'c, M, R> {
             weights,
             congestion,
             session,
+            delta: RefCell::new(None),
             area_scale: 1.0,
             wire_scale: 1.0,
             congestion_scale: 1.0,
@@ -428,6 +476,178 @@ impl<'c, M: RetainedCongestion, R: FloorplanRepr> Problem for FloorplanProblem<'
 
     fn perturb<G: rand::Rng>(&self, state: &mut R, rng: &mut G) {
         state.perturb(rng);
+    }
+}
+
+impl<'c, M: DeltaCongestion, R: FloorplanRepr> FloorplanProblem<'c, M, R> {
+    /// Recomputes one net's pins, segments, and wirelength against
+    /// `placement` — the per-net unit of work both `rebase` (all nets)
+    /// and `propose` (changed nets only) go through, so the two cannot
+    /// drift.
+    fn decompose_net(&self, net_index: usize, placement: &Placement) -> (Vec<(Point, Point)>, Um) {
+        let members: Vec<Rect> = self.circuit.nets()[net_index]
+            .pins()
+            .iter()
+            .map(|&m| placement.module_rect(m))
+            .collect();
+        let pins = self.placer.place_net(&members);
+        let segments = net_segments(&pins, Decomposition::Mst);
+        let wire = segments_wirelength(&segments);
+        (segments, wire)
+    }
+
+    /// Scores the pending flat segment list: congestion through the delta
+    /// session (when one is attached) plus the combined cost.
+    fn delta_cost(&self, delta: &mut DeltaState<R>, propose: bool) -> (f64, bool) {
+        let chip = delta.placement.chip();
+        delta.flat.clear();
+        for segments in &delta.net_segments {
+            delta.flat.extend_from_slice(segments);
+        }
+        let (congestion, session_used) = match delta.session.as_mut() {
+            Some(session) if propose => (session.propose(&chip, &delta.flat), true),
+            Some(session) => (session.rebase(&chip, &delta.flat), true),
+            None => (0.0, false),
+        };
+        let area = delta.placement.area().as_f64();
+        let cost = self.combine(area, delta.wire_total.as_f64(), congestion);
+        (cost, session_used)
+    }
+}
+
+/// The incremental evaluation path (§5 made fast): a move re-decomposes
+/// only the nets pinned to modules whose placed rectangle changed, and
+/// the congestion model's [`DeltaCongestionSession`] re-scores only the
+/// routing ranges that moved. Available when the congestion model
+/// implements [`DeltaCongestion`].
+///
+/// The delta congestion term is the session's exact fixed-point
+/// accumulation, which differs from [`Problem::cost`]'s float-summed
+/// congestion in the last ulps when γ > 0 — the two paths are never mixed
+/// inside one annealing run (see [`irgrid_anneal::DeltaProblem`]'s cost
+/// contract). With γ = 0 the delta cost is bit-identical to
+/// [`Problem::cost`].
+impl<'c, M: DeltaCongestion, R: FloorplanRepr> DeltaProblem for FloorplanProblem<'c, M, R> {
+    fn rebase(&self, state: &R) -> f64 {
+        let placement = state.place(self.circuit);
+        let nets = self.circuit.nets();
+        let mut module_nets = vec![Vec::new(); self.circuit.modules().len()];
+        for (n, net) in nets.iter().enumerate() {
+            for &m in net.pins() {
+                module_nets[m.index()].push(n);
+            }
+        }
+        let session = match &self.congestion {
+            Some(model) if self.weights.congestion > 0.0 => {
+                Some(Box::new(model.delta_session()) as Box<dyn DeltaCongestionSession>)
+            }
+            _ => None,
+        };
+        let mut delta = DeltaState {
+            session,
+            module_nets,
+            net_mark: vec![false; nets.len()],
+            net_segments: Vec::with_capacity(nets.len()),
+            net_wire: Vec::with_capacity(nets.len()),
+            wire_total: Um::ZERO,
+            placement,
+            flat: Vec::new(),
+            journal: None,
+        };
+        for n in 0..nets.len() {
+            let (segments, wire) = self.decompose_net(n, &delta.placement);
+            delta.wire_total += wire;
+            delta.net_segments.push(segments);
+            delta.net_wire.push(wire);
+        }
+        let (cost, _) = self.delta_cost(&mut delta, false);
+        *self.delta.borrow_mut() = Some(delta);
+        cost
+    }
+
+    fn propose<G: rand::Rng>(&self, state: &mut R, rng: &mut G) -> f64 {
+        if self.delta.borrow().is_none() {
+            // Defensive: the engine rebases before the first propose, but
+            // a hand-driven protocol might not.
+            let _ = self.rebase(state);
+        }
+        let prev_repr = state.clone();
+        state.perturb(rng);
+
+        let mut guard = self.delta.borrow_mut();
+        let Some(delta) = guard.as_mut() else {
+            // Unreachable after the rebase above; a non-finite cost makes
+            // the engine stop with `StopReason::CostError` rather than
+            // anneal over garbage.
+            return f64::NAN;
+        };
+        let placement = state.place(self.circuit);
+        let changed = delta.placement.changed_modules(&placement);
+        let mut changed_nets: Vec<usize> = Vec::new();
+        for &module in &changed {
+            for &n in &delta.module_nets[module] {
+                if !delta.net_mark[n] {
+                    delta.net_mark[n] = true;
+                    changed_nets.push(n);
+                }
+            }
+        }
+        changed_nets.sort_unstable();
+
+        let prev_wire_total = delta.wire_total;
+        let prev_placement = std::mem::replace(&mut delta.placement, placement);
+        let mut prev_nets = Vec::with_capacity(changed_nets.len());
+        for &n in &changed_nets {
+            delta.net_mark[n] = false;
+            let (segments, wire) = self.decompose_net(n, &delta.placement);
+            let old_segments = std::mem::replace(&mut delta.net_segments[n], segments);
+            let old_wire = std::mem::replace(&mut delta.net_wire[n], wire);
+            delta.wire_total += wire - old_wire;
+            prev_nets.push((n, old_segments, old_wire));
+        }
+
+        let (cost, session_proposed) = self.delta_cost(delta, true);
+        delta.journal = Some(Journal {
+            prev_repr,
+            prev_placement,
+            prev_nets,
+            prev_wire_total,
+            session_proposed,
+        });
+        cost
+    }
+
+    fn commit(&self) {
+        let mut guard = self.delta.borrow_mut();
+        if let Some(delta) = guard.as_mut() {
+            if let Some(journal) = delta.journal.take() {
+                if journal.session_proposed {
+                    if let Some(session) = delta.session.as_mut() {
+                        session.commit();
+                    }
+                }
+            }
+        }
+    }
+
+    fn undo(&self, state: &mut R) {
+        let mut guard = self.delta.borrow_mut();
+        if let Some(delta) = guard.as_mut() {
+            if let Some(journal) = delta.journal.take() {
+                *state = journal.prev_repr;
+                delta.placement = journal.prev_placement;
+                delta.wire_total = journal.prev_wire_total;
+                for (n, segments, wire) in journal.prev_nets {
+                    delta.net_segments[n] = segments;
+                    delta.net_wire[n] = wire;
+                }
+                if journal.session_proposed {
+                    if let Some(session) = delta.session.as_mut() {
+                        let _ = session.undo();
+                    }
+                }
+            }
+        }
     }
 }
 
@@ -661,6 +881,125 @@ mod tests {
         let eval = problem.evaluate(&result.best);
         assert!(eval.placement.check_consistency().is_none());
         assert!(eval.area_um2 >= circuit.total_module_area().as_f64());
+    }
+
+    #[test]
+    fn gamma_zero_delta_run_is_bit_identical_to_plain_run() {
+        // With γ = 0 the delta cost function coincides with the full cost
+        // function exactly (integer wirelength sums are exact in f64), so
+        // the delta loop must reproduce the plain loop bit for bit.
+        let circuit = small_circuit();
+        let problem = FloorplanProblem::new(
+            &circuit,
+            Um(30),
+            Weights::area_wire(),
+            Some(IrregularGridModel::new(Um(30))),
+        );
+        let annealer = Annealer::new(Schedule::quick());
+        for seed in [2, 11, 23] {
+            let plain = annealer.run(&problem, seed);
+            let delta = annealer.run_delta(&problem, seed);
+            assert_eq!(plain.best, delta.best, "seed {seed}");
+            assert_eq!(plain.best_cost.to_bits(), delta.best_cost.to_bits());
+            assert_eq!(plain.stats, delta.stats);
+            assert_eq!(plain.stop_reason, delta.stop_reason);
+        }
+    }
+
+    #[test]
+    fn propose_is_bit_identical_to_fresh_rebase() {
+        // Drive the move protocol by hand with a mix of accepts and
+        // rejects; after every propose, a from-scratch rebase on an
+        // identical second problem must reproduce the incremental cost
+        // bit for bit.
+        use rand::SeedableRng;
+        let circuit = small_circuit();
+        let make = || {
+            FloorplanProblem::new(
+                &circuit,
+                Um(30),
+                Weights::routability(),
+                Some(IrregularGridModel::new(Um(30))),
+            )
+        };
+        let incremental = make();
+        let scratch = make();
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0xd311a);
+        let mut state = incremental.initial_state();
+        let rebased = incremental.rebase(&state);
+        assert_eq!(rebased.to_bits(), scratch.rebase(&state).to_bits());
+        for step in 0..60 {
+            let before = state.clone();
+            let proposed = incremental.propose(&mut state, &mut rng);
+            assert_eq!(
+                proposed.to_bits(),
+                scratch.rebase(&state).to_bits(),
+                "step {step}: incremental cost drifted from from-scratch"
+            );
+            // Reject two of every three moves to exercise long undo chains.
+            if step % 3 == 0 {
+                incremental.commit();
+            } else {
+                incremental.undo(&mut state);
+                assert_eq!(
+                    incremental.cost(&before).to_bits(),
+                    incremental.cost(&state).to_bits(),
+                    "step {step}: undo failed to restore the state"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sequence_pair_delta_protocol_matches_scratch() {
+        use irgrid_floorplan::SequencePair;
+        use rand::SeedableRng;
+        let circuit = small_circuit();
+        let make = || -> FloorplanProblem<'_, IrregularGridModel, SequencePair> {
+            FloorplanProblem::with_representation(
+                &circuit,
+                Um(30),
+                Weights::balanced(),
+                Some(IrregularGridModel::new(Um(30))),
+            )
+        };
+        let incremental = make();
+        let scratch = make();
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
+        let mut state = incremental.initial_state();
+        let _ = incremental.rebase(&state);
+        for step in 0..40 {
+            let proposed = incremental.propose(&mut state, &mut rng);
+            assert_eq!(
+                proposed.to_bits(),
+                scratch.rebase(&state).to_bits(),
+                "step {step}"
+            );
+            if step % 2 == 0 {
+                incremental.undo(&mut state);
+            } else {
+                incremental.commit();
+            }
+        }
+    }
+
+    #[test]
+    fn delta_run_is_deterministic_and_consistent() {
+        let circuit = small_circuit();
+        let problem = FloorplanProblem::new(
+            &circuit,
+            Um(30),
+            Weights::routability(),
+            Some(IrregularGridModel::new(Um(30))),
+        );
+        let annealer = Annealer::new(Schedule::quick());
+        let a = annealer.run_delta(&problem, 5);
+        let b = annealer.run_delta(&problem, 5);
+        assert_eq!(a.best, b.best);
+        assert_eq!(a.best_cost.to_bits(), b.best_cost.to_bits());
+        assert_eq!(a.stats, b.stats);
+        let eval = problem.evaluate(&a.best);
+        assert!(eval.placement.check_consistency().is_none());
     }
 
     #[test]

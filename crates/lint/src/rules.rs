@@ -67,8 +67,15 @@ const LIBRARY_CRATE_PREFIXES: &[&str] = &[
     "crates/serve/src/",
 ];
 
-/// The fixed-point and binomial numeric paths audited by C1.
-const CAST_AUDIT_PREFIXES: &[&str] = &["crates/core/src/fixed.rs", "crates/core/src/num/"];
+/// The fixed-point and binomial numeric paths audited by C1. The delta
+/// evaluator is included because its bit-identity guarantee rests on
+/// exact integer accumulation — an unaudited cast there can silently
+/// break `delta == rebuild`.
+const CAST_AUDIT_PREFIXES: &[&str] = &[
+    "crates/core/src/fixed.rs",
+    "crates/core/src/num/",
+    "crates/core/src/irregular/delta.rs",
+];
 
 /// Modules where serial float accumulation is the sanctioned design
 /// (Simpson integration, log-factorial tables): iteration order is fixed
