@@ -37,7 +37,13 @@
 //!                     where they are otherwise skipped)
 //!   --delta           congestion-perf: verify and time the incremental
 //!                     (delta) annealing loop; adds `delta_equivalent` and
-//!                     `sa_delta_moves_per_s` to the report
+//!                     `sa_delta_moves_per_s` to the report.
+//!                     serve-bench: benchmark delta sessions
+//!                     (`Propose`/`Commit`/`Undo`, binary framing) against
+//!                     the full-session `Evaluate` baseline on an annealed
+//!                     ami49 warm move sequence; asserts bit-identity vs a
+//!                     fresh local delta rebase and a >= 3x speedup, and
+//!                     adds `delta_equivalent` + delta throughput fields
 //!   --out FILE        report path (congestion-perf, fleet, serve-bench)
 //!
 //! serve-bench flags:

@@ -14,7 +14,7 @@
 //!   span origin. Translating a range — the common case under repacking,
 //!   where whole subtrees shift — reuses its block verbatim. Blocks are
 //!   memoized in a `BTreeMap` (deterministic iteration; `HashMap` is
-//!   banned by lint rule D1) keyed by that signature, as `Rc<[i64]>` of
+//!   banned by lint rule D1) keyed by that signature, as `Arc<[i64]>` of
 //!   **Q32-quantized** probabilities.
 //! * **Integer totals.** Per-cell totals are `i64` sums of quantized
 //!   blocks (see [`crate::num::quantize_probability`]). Integer addition
@@ -57,7 +57,7 @@
 //! too small to fan out).
 
 use std::collections::BTreeMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use irgrid_geom::{Point, Rect};
 
@@ -84,6 +84,27 @@ fn span_len(lo: usize, hi: usize) -> i64 {
     (hi - lo) as i64 // irgrid-lint: allow(C1): IR spans hold < 2^32 cut intervals, far inside i64
 }
 
+/// FNV-1a over a snapshot's exact cut vectors, Q32 totals, and cost
+/// bit pattern — the bit-identity contract collapsed to 64 bits.
+fn snapshot_fingerprint(snap: &Snapshot) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |bytes: [u8; 8]| {
+        for byte in bytes {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    eat(u64::from(snap.valid).to_le_bytes());
+    eat(snap.cost.to_bits().to_le_bytes());
+    for slice in [&snap.x_cuts, &snap.y_cuts, &snap.totals] {
+        eat(u64::try_from(slice.len()).unwrap_or(u64::MAX).to_le_bytes());
+        for &value in slice {
+            eat(value.to_le_bytes());
+        }
+    }
+    hash
+}
+
 /// One fully evaluated floorplan: merged cuts, per-range snapped spans
 /// and scored blocks, integer per-cell totals, and the resulting cost.
 #[derive(Debug, Default)]
@@ -96,7 +117,7 @@ struct Snapshot {
     /// Per-range snapped span `(ix1, ix2, iy1, iy2)` into the cut vectors.
     spans: Vec<(usize, usize, usize, usize)>,
     /// Per-range scored block over its span (shared with the memo).
-    blocks: Vec<Rc<[i64]>>,
+    blocks: Vec<Arc<[i64]>>,
     cost: f64,
     valid: bool,
 }
@@ -130,7 +151,7 @@ struct Snapshot {
 pub struct IrDeltaEvaluator {
     model: IrregularGridModel,
     lf: LnFactorials,
-    memo: BTreeMap<Vec<i64>, Rc<[i64]>>,
+    memo: BTreeMap<Vec<i64>, Arc<[i64]>>,
     memo_capacity: usize,
     committed: Snapshot,
     proposed: Snapshot,
@@ -216,6 +237,36 @@ impl IrDeltaEvaluator {
         }
     }
 
+    /// Whether a committed state exists (i.e. a `rebase` or `commit`
+    /// has happened). Before that, [`cost`](Self::cost) is a default 0
+    /// and [`committed_fingerprint`](Self::committed_fingerprint) covers
+    /// an empty snapshot.
+    #[must_use]
+    pub fn has_committed(&self) -> bool {
+        self.committed.valid
+    }
+
+    /// An FNV-1a fingerprint of the committed snapshot: the exact cut
+    /// vectors, Q32 totals, and the cost's bit pattern. Two sessions
+    /// with equal fingerprints committed bit-identical maps — this is
+    /// the hook a checkpointing layer uses to verify that a restored
+    /// session replayed to the same state it persisted.
+    #[must_use]
+    pub fn committed_fingerprint(&self) -> u64 {
+        snapshot_fingerprint(&self.committed)
+    }
+
+    /// The fingerprint [`committed_fingerprint`](Self::committed_fingerprint)
+    /// would report after a [`commit`](crate::DeltaCongestionSession::commit)
+    /// of the current proposal. Meaningful only while a proposal is
+    /// pending; otherwise it covers whatever the last proposal built.
+    /// A checkpointing layer persists this *before* committing so a
+    /// restored session can be verified against it.
+    #[must_use]
+    pub fn proposed_fingerprint(&self) -> u64 {
+        snapshot_fingerprint(&self.proposed)
+    }
+
     /// Builds `self.proposed` from the given floorplan and returns its
     /// cost. Uses the committed snapshot only as a subtract/add base
     /// when the merged cut sets coincide — the result is independent of
@@ -290,9 +341,9 @@ impl IrDeltaEvaluator {
             }
 
             let block = if let Some(hit) = self.memo.get(&self.key) {
-                Rc::clone(hit)
+                Arc::clone(hit)
             } else {
-                let scored: Rc<[i64]> = if corridor {
+                let scored: Arc<[i64]> = if corridor {
                     let cells = (ix2 - ix1) * (iy2 - iy1);
                     std::iter::repeat(quantize_probability(1.0))
                         .take(cells)
@@ -329,7 +380,7 @@ impl IrDeltaEvaluator {
                 if self.memo.len() >= self.memo_capacity {
                     self.memo.clear();
                 }
-                self.memo.insert(self.key.clone(), Rc::clone(&scored));
+                self.memo.insert(self.key.clone(), Arc::clone(&scored));
                 scored
             };
             self.proposed.blocks.push(block);

@@ -22,6 +22,7 @@
 //! | site              | key        | faults                         |
 //! |-------------------|------------|--------------------------------|
 //! | `persist.session` | session id | io-error, torn write, kill     |
+//! | `delta.commit`    | session id | io-error, kill (pre-persist)   |
 //! | `frame.read`      | session id | (tests) stall, malformed frame |
 //!
 //! A `Kill` decision simulates SIGKILL at a persistence boundary: the

@@ -1,21 +1,31 @@
-//! A synthetic JSONL client for the daemon.
+//! The reference client for the daemon.
 //!
-//! This is the reference client the chaos tests, the CI smoke harness,
-//! and `repro serve-bench` all share. Its retry loop implements the
+//! This is the client the chaos tests, the CI smoke harness, and
+//! `repro serve-bench` all share. Its retry loop implements the
 //! protocol's contract: any response marked `retryable` may be resent
 //! verbatim, and the idempotency ring guarantees a retried `Evaluate`
-//! never double-counts. Transport failures (daemon killed mid-request)
-//! reconnect and resend the same frame for the same reason.
+//! or `Commit` never double-counts. Transport failures (daemon killed
+//! mid-request) reconnect and resend the same frame for the same reason.
+//!
+//! The client reads responses through the same bounded frame reader as
+//! the server ([`frame`](crate::frame)) — a hostile or broken daemon
+//! cannot make it buffer an unbounded line — and speaks either framing:
+//! [`Client::with_codec`] with [`FrameCodec::Binary`] sends the magic
+//! preamble on connect and switches the whole connection to
+//! length-prefixed binary frames.
 //!
 //! Like the server's transport layer, this file is connection-side code:
 //! the only wall-clock it touches is retry backoff.
 
-use std::io::{BufRead, BufReader, Read, Write};
+use std::io::{BufReader, Read, Write};
 use std::net::TcpStream;
 use std::os::unix::net::UnixStream;
 use std::time::Duration; // irgrid-lint: allow(D1): client retry backoff is connection-layer wall-clock
 
-use crate::protocol::{Request, Response, ResponsePayload};
+use crate::frame::{
+    parse_response_payload, read_frame, request_frame, FrameCodec, FrameReadError, BINARY_MAGIC,
+};
+use crate::protocol::{Limits, Request, Response, ResponsePayload};
 use crate::server::Transport;
 
 /// Why a client call failed for good.
@@ -80,24 +90,42 @@ impl Write for ClientStream {
 /// A connected (or lazily reconnecting) daemon client.
 pub struct Client {
     transport: Transport,
+    codec: FrameCodec,
+    /// Response frames larger than this are a protocol violation.
+    max_frame_bytes: usize,
     connection: Option<(ClientStream, BufReader<ClientStream>)>,
 }
 
 impl Client {
-    /// A client for `transport`; connects lazily on first call.
+    /// A JSONL client for `transport`; connects lazily on first call.
     #[must_use]
     pub fn new(transport: Transport) -> Client {
+        Client::with_codec(transport, FrameCodec::Jsonl)
+    }
+
+    /// A client speaking the given framing. Binary clients send the
+    /// negotiation magic as the first bytes of every (re)connection.
+    #[must_use]
+    pub fn with_codec(transport: Transport, codec: FrameCodec) -> Client {
         Client {
             transport,
+            codec,
+            max_frame_bytes: Limits::default().max_frame_bytes,
             connection: None,
         }
+    }
+
+    /// The framing this client speaks.
+    #[must_use]
+    pub fn codec(&self) -> FrameCodec {
+        self.codec
     }
 
     fn connect(&mut self) -> std::io::Result<()> {
         if self.connection.is_some() {
             return Ok(());
         }
-        let (writer, reader) = match &self.transport {
+        let (mut writer, reader) = match &self.transport {
             Transport::Unix(path) => {
                 let stream = UnixStream::connect(path)?;
                 let clone = stream.try_clone()?;
@@ -109,6 +137,9 @@ impl Client {
                 (ClientStream::Tcp(stream), ClientStream::Tcp(clone))
             }
         };
+        if self.codec == FrameCodec::Binary {
+            writer.write_all(&BINARY_MAGIC)?;
+        }
         self.connection = Some((writer, BufReader::new(reader)));
         Ok(())
     }
@@ -127,33 +158,24 @@ impl Client {
     /// when the reply is not a response frame.
     pub fn call_once(&mut self, request: &Request) -> Result<Response, ClientError> {
         self.connect().map_err(ClientError::Transport)?;
+        let codec = self.codec;
+        let max = self.max_frame_bytes;
         // irgrid-lint: allow(P1): connect() above just guaranteed the connection
         let (writer, reader) = self.connection.as_mut().expect("connected");
 
-        let mut frame = serde_json::to_string(request)
-            .map_err(|err| ClientError::Protocol(format!("request serialization: {err}")))?;
-        frame.push('\n');
-
-        let send = writer
-            .write_all(frame.as_bytes())
-            .and_then(|()| writer.flush());
+        let frame = request_frame(codec, request);
+        let send = writer.write_all(&frame).and_then(|()| writer.flush());
         if let Err(err) = send {
             self.disconnect();
             return Err(ClientError::Transport(err));
         }
 
-        let mut line = String::new();
-        match reader.read_line(&mut line) {
-            Ok(0) => {
-                self.disconnect();
-                Err(ClientError::Transport(std::io::Error::new(
-                    std::io::ErrorKind::UnexpectedEof,
-                    "daemon closed the connection",
-                )))
-            }
-            Ok(_) => {
-                let response: Response = serde_json::from_str(line.trim_end())
-                    .map_err(|err| ClientError::Protocol(format!("bad response frame: {err}")))?;
+        // Bounded read: the client never buffers more than the frame
+        // limit of a response, however broken the peer.
+        match read_frame(reader, codec, max, &mut || true) {
+            Ok(payload) => {
+                let response = parse_response_payload(&payload)
+                    .map_err(|why| ClientError::Protocol(format!("bad response frame: {why}")))?;
                 if response.id != request.id && !response.id.is_empty() {
                     return Err(ClientError::Protocol(format!(
                         "response id `{}` does not match request id `{}`",
@@ -162,7 +184,20 @@ impl Client {
                 }
                 Ok(response)
             }
-            Err(err) => {
+            Err(FrameReadError::TooLarge) => {
+                self.disconnect();
+                Err(ClientError::Protocol(format!(
+                    "daemon sent a response frame over {max} bytes"
+                )))
+            }
+            Err(FrameReadError::Closed | FrameReadError::Aborted) => {
+                self.disconnect();
+                Err(ClientError::Transport(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "daemon closed the connection",
+                )))
+            }
+            Err(FrameReadError::Transport(err)) => {
                 self.disconnect();
                 Err(ClientError::Transport(err))
             }

@@ -4,8 +4,15 @@
 //! same retained evaluation machinery into a long-running service:
 //! concurrent clients hold named sessions, each wrapping a retained
 //! [`CongestionEvaluator`](irgrid_core::CongestionEvaluator) plus a
-//! score cache, and drive it with JSONL request frames over a Unix (or
-//! TCP) socket.
+//! score cache, and drive it with JSONL (or negotiated length-prefixed
+//! binary, [`frame`]) request frames over a Unix (or TCP) socket.
+//!
+//! Two session kinds share one session table: `Open` sessions score
+//! independent batches through the retained evaluator, and `OpenDelta`
+//! sessions ([`delta`]) hold a session-resident incremental evaluator
+//! driven move-by-move with `Propose`/`Commit`/`Undo` — the daemon-side
+//! mirror of the annealer's inner loop, bit-identical to a full rebuild
+//! by construction.
 //!
 //! The design goal is *robustness you can prove*, not raw throughput:
 //!
@@ -41,14 +48,19 @@
 pub mod cache;
 pub mod chaos;
 pub mod client;
+pub mod delta;
+pub mod frame;
 pub mod manager;
 pub mod protocol;
 pub mod server;
 pub mod session;
 pub mod store;
 
+pub use cache::SharedScoreCache;
 pub use chaos::{Chaos, ChaosConfig};
 pub use client::{Client, ClientError};
+pub use delta::{DeltaSession, DeltaSessionState, DELTA_MODEL_NAME};
+pub use frame::{FrameCodec, BINARY_MAGIC};
 pub use manager::{DegradePolicy, SessionManager};
 pub use protocol::{
     ErrorKind, EvalResult, FloorplanState, Limits, Request, RequestOp, Response, ResponsePayload,

@@ -1,26 +1,46 @@
-//! The wire protocol: JSONL frames over a Unix or TCP socket.
+//! The wire protocol: JSONL (default) or length-prefixed binary frames
+//! over a Unix or TCP socket.
 //!
-//! Every frame is one JSON object on one `\n`-terminated line. Clients
-//! send [`Request`]s, the daemon answers each with exactly one
-//! [`Response`] carrying the same `id`, in request order per connection.
-//! Frames are bounded ([`Limits::max_frame_bytes`]); an oversized or
-//! malformed frame gets a typed error reply instead of killing the
-//! connection, so one bad client frame never tears down a session.
+//! In JSONL mode every frame is one JSON object on one `\n`-terminated
+//! line. Clients send [`Request`]s, the daemon answers each with exactly
+//! one [`Response`] carrying the same `id`, in request order per
+//! connection. Frames are bounded ([`Limits::max_frame_bytes`]) and the
+//! bound is enforced *before* buffering (see [`frame`](crate::frame));
+//! an oversized or malformed frame gets a typed error reply instead of
+//! killing the connection, so one bad client frame never tears down a
+//! session. A client may switch the whole connection to the binary
+//! framing by sending the [`frame::BINARY_MAGIC`](crate::frame)
+//! preamble as its first bytes; JSONL remains the default.
 //!
-//! # Grammar
+//! # Grammar (JSONL)
 //!
 //! ```text
 //! frame     := json-object "\n"
 //! request   := { "id": string, "session": string, "op": op }
-//! op        := "Ping" | "Stat" | "Close" | "Shutdown"
-//!            | { "Open":     { "config": session-config } }
-//!            | { "Evaluate": { "states": [ floorplan-state* ] } }
+//! op        := "Ping" | "Stat" | "Close" | "Shutdown" | "Undo"
+//!            | { "Open":      { "config": session-config } }
+//!            | { "OpenDelta": { "config": session-config } }
+//!            | { "Evaluate":  { "states": [ floorplan-state* ] } }
+//!            | { "Propose":   { "state": floorplan-state } }
+//!            | { "Commit":    { "digest": string } }
 //! response  := { "id": string, "ok": bool, "degraded": bool,
 //!                "replayed": bool, "payload": payload }
 //! ```
 //!
 //! Enum encodings follow the workspace's serde conventions: unit
 //! variants are strings, payload variants single-entry maps.
+//!
+//! # Delta sessions
+//!
+//! `OpenDelta` opens (or resumes) a session holding a session-resident
+//! [`IrDeltaEvaluator`](irgrid_core::congestion::IrDeltaEvaluator)
+//! scoring through the exact Q32 delta pipeline. `Propose` scores one
+//! state incrementally against the committed snapshot (pure, nothing
+//! persisted — a retry recomputes bit-identically); `Commit` promotes
+//! the pending proposal (persist-then-reply, idempotent by request id);
+//! `Undo` drops it. `Evaluate` on a delta session is a read-only
+//! fast path: each state is scored as propose + undo, leaving the
+//! committed state and any pending proposal untouched.
 
 use serde::{Deserialize, Serialize};
 
@@ -47,6 +67,9 @@ pub struct Limits {
     pub max_segments: usize,
     /// Idempotency records retained per session (oldest evicted first).
     pub completed_ring: usize,
+    /// Capacity of the manager-wide shared score cache (entries across
+    /// *all* sessions); `0` disables caching daemon-wide.
+    pub shared_cache_capacity: usize,
 }
 
 impl Default for Limits {
@@ -58,6 +81,7 @@ impl Default for Limits {
             max_clients: 64,
             max_segments: 100_000,
             completed_ring: 32,
+            shared_cache_capacity: 4096,
         }
     }
 }
@@ -71,8 +95,10 @@ pub struct SessionConfig {
     /// unlimited. Enforced through
     /// [`RunControl::with_move_budget`](irgrid_anneal::RunControl::with_move_budget).
     pub budget: u64,
-    /// Congestion-map LRU capacity (states cached by digest); `0`
-    /// disables caching.
+    /// Score-cache participation. The cache itself is daemon-wide
+    /// (bounded by [`Limits::shared_cache_capacity`]); any non-zero
+    /// value opts this session in, `0` opts it out. The historical name
+    /// is kept for wire compatibility with PR 6 clients.
     pub cache_capacity: u64,
 }
 
@@ -108,11 +134,37 @@ pub enum RequestOp {
         /// The session's fixed configuration.
         config: SessionConfig,
     },
-    /// Score a batch of floorplan states in the named session.
+    /// Create the named *delta* session (or resume it from its
+    /// checkpoint): a session-resident incremental evaluator scoring
+    /// through the exact Q32 delta pipeline. Idempotent like `Open`.
+    OpenDelta {
+        /// The session's fixed configuration.
+        config: SessionConfig,
+    },
+    /// Score a batch of floorplan states in the named session. On a
+    /// delta session this is a read-only fast path (propose + undo per
+    /// state); it leaves the committed state and any pending proposal
+    /// untouched and consumes no budget.
     Evaluate {
         /// The states to score, answered in order.
         states: Vec<FloorplanState>,
     },
+    /// Score one state incrementally against the delta session's
+    /// committed snapshot and leave it pending for `Commit`. Pure:
+    /// nothing is persisted, and a retry recomputes bit-identically.
+    Propose {
+        /// The proposed floorplan.
+        state: FloorplanState,
+    },
+    /// Promote the pending proposal with the given state digest to the
+    /// committed snapshot. Persist-then-reply; idempotent by request id.
+    Commit {
+        /// The digest `Propose` returned for the proposal to commit.
+        digest: String,
+    },
+    /// Discard the pending proposal (if any) and report the committed
+    /// score. Pure; always safe to retry.
+    Undo,
     /// Report the session's counters without evaluating anything.
     Stat,
     /// Close the session and delete its checkpoint.
@@ -165,6 +217,14 @@ pub enum ErrorKind {
     PersistFailed,
     /// The daemon is shutting down (or a chaos kill point fired).
     ShuttingDown,
+    /// A delta-only op (`Propose`/`Commit`/`Undo`) was sent to a full
+    /// session, or `Open`/`OpenDelta` named a session of the other
+    /// kind.
+    WrongSessionKind,
+    /// `Commit` named a digest with no matching pending proposal (e.g.
+    /// the daemon restarted since the propose). Re-send the `Propose`,
+    /// then retry the commit.
+    NoPendingProposal,
 }
 
 /// One scored floorplan state.
@@ -209,6 +269,28 @@ pub enum ResponsePayload {
     Evaluated {
         /// The scores.
         results: Vec<EvalResult>,
+    },
+    /// `Propose` succeeded; the proposal is pending in the session.
+    Proposed {
+        /// FNV-1a digest of the proposed state (pass to `Commit`).
+        digest: String,
+        /// The proposal's congestion score (exact Q32 delta pipeline).
+        score: f64,
+    },
+    /// `Commit` succeeded; the proposal is now the committed snapshot,
+    /// durably persisted.
+    Committed {
+        /// Digest of the now-committed state.
+        digest: String,
+        /// The committed score.
+        score: f64,
+        /// Monotone commit counter (1 for the session's first commit).
+        commit_seq: u64,
+    },
+    /// `Undo` succeeded; any pending proposal was discarded.
+    Undone {
+        /// The committed score (`0.0` before the first commit).
+        score: f64,
     },
     /// `Stat` succeeded.
     Stats {
@@ -371,6 +453,52 @@ mod tests {
     }
 
     #[test]
+    fn delta_ops_and_payloads_roundtrip() {
+        let state = FloorplanState {
+            chip: [600, 400],
+            segments: vec![[0, 0, 10, 20]],
+        };
+        for op in [
+            RequestOp::OpenDelta {
+                config: SessionConfig::default_config(),
+            },
+            RequestOp::Propose {
+                state: state.clone(),
+            },
+            RequestOp::Commit {
+                digest: "abcd".into(),
+            },
+            RequestOp::Undo,
+        ] {
+            let request = Request {
+                id: "d-1".into(),
+                session: "delta".into(),
+                op,
+            };
+            let text = serde_json::to_string(&request).expect("serialize");
+            let back: Request = serde_json::from_str(&text).expect("parse");
+            assert_eq!(request, back);
+        }
+        for payload in [
+            ResponsePayload::Proposed {
+                digest: "abcd".into(),
+                score: 1.25,
+            },
+            ResponsePayload::Committed {
+                digest: "abcd".into(),
+                score: 1.25,
+                commit_seq: 3,
+            },
+            ResponsePayload::Undone { score: 0.5 },
+        ] {
+            let response = Response::ok("d-2", payload);
+            let back: Response =
+                serde_json::from_str(response.to_frame().trim_end()).expect("parse");
+            assert_eq!(response, back);
+        }
+    }
+
+    #[test]
     fn error_kinds_roundtrip() {
         for kind in [
             ErrorKind::Backpressure,
@@ -384,6 +512,8 @@ mod tests {
             ErrorKind::Timeout,
             ErrorKind::PersistFailed,
             ErrorKind::ShuttingDown,
+            ErrorKind::WrongSessionKind,
+            ErrorKind::NoPendingProposal,
         ] {
             let response = Response::error("x", kind, "m", true);
             let back: Response =

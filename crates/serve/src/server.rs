@@ -1,10 +1,17 @@
-//! The socket front end: accept loop, bounded frame reader, and
-//! connection threads.
+//! The socket front end: accept loop, codec negotiation, and connection
+//! threads.
 //!
 //! This module is the daemon's *only* wall-clock boundary. Socket read
 //! timeouts and per-request deadlines are chosen here and handed to the
 //! [`SessionManager`] as an opaque [`RunControl`]; everything below this
 //! layer is clock-free and therefore deterministic.
+//!
+//! Frames are read through the shared bounded reader in
+//! [`frame`](crate::frame) — the same code path the client uses — so the
+//! frame limit is enforced before buffering on both ends. Each
+//! connection starts in JSONL framing and may switch to length-prefixed
+//! binary frames by sending [`BINARY_MAGIC`](crate::frame::BINARY_MAGIC)
+//! as its first bytes; the choice is per-connection and permanent.
 //!
 //! Connections are one thread each, bounded by
 //! [`Limits::max_clients`](crate::protocol::Limits): the accept loop
@@ -12,7 +19,7 @@
 //! `Backpressure` frame before closing — explicit refusal, never an
 //! unbounded accept queue.
 
-use std::io::{BufRead, BufReader, Read, Write};
+use std::io::{BufReader, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::{Path, PathBuf};
@@ -23,8 +30,12 @@ use std::time::Duration; // irgrid-lint: allow(D1): transport layer owns all soc
 
 use irgrid_anneal::RunControl;
 
+use crate::frame::{
+    is_blank, negotiate, parse_request_payload, read_frame, recover_payload_id, response_frame,
+    FrameCodec, FrameReadError,
+};
 use crate::manager::SessionManager;
-use crate::protocol::{parse_request, recover_id, ErrorKind, Response};
+use crate::protocol::{ErrorKind, Response, ResponsePayload};
 
 /// How long a connection thread blocks on a read before re-checking the
 /// shutdown flag.
@@ -240,6 +251,9 @@ fn accept_loop(listener: &Listener, manager: &Arc<SessionManager>, options: Serv
 }
 
 /// Answers an over-limit connect with one Backpressure frame and closes.
+/// Refusal happens before codec negotiation, so it is always JSONL — a
+/// binary client sees a short unparseable read and treats it as a
+/// transport failure, which its retry loop already handles.
 fn refuse(mut stream: Stream) {
     let response = Response::error(
         "",
@@ -247,89 +261,7 @@ fn refuse(mut stream: Stream) {
         "client limit reached; retry later",
         true,
     );
-    let _ = stream.write_all(response.to_frame().as_bytes());
-}
-
-/// Reads one `\n`-terminated frame of at most `max` bytes.
-///
-/// Returns `Ok(None)` on clean EOF, `Err(true)` for over-long frames
-/// (reported, connection survives by skipping to the next newline),
-/// `Err(false)` for hard transport errors (connection drops).
-fn read_frame(
-    reader: &mut BufReader<Stream>,
-    max: usize,
-    manager: &SessionManager,
-) -> Result<Option<String>, bool> {
-    let mut line = Vec::new();
-    loop {
-        let buffer = match reader.fill_buf() {
-            Ok(buffer) => buffer,
-            Err(err)
-                if err.kind() == std::io::ErrorKind::WouldBlock
-                    || err.kind() == std::io::ErrorKind::TimedOut =>
-            {
-                // Read timeout: poll shutdown, keep waiting. A client may
-                // legitimately idle between requests (chaos "stalled
-                // client"); only shutdown ends the wait.
-                if manager.shutting_down() {
-                    return Ok(None);
-                }
-                continue;
-            }
-            Err(_) => return Err(false),
-        };
-        if buffer.is_empty() {
-            // EOF. A partial unterminated line is a torn frame; drop it.
-            return Ok(None);
-        }
-        let (chunk, terminated) = match buffer.iter().position(|&b| b == b'\n') {
-            Some(newline) => (newline + 1, true),
-            None => (buffer.len(), false),
-        };
-        if line.len() + chunk > max {
-            // Consume to the newline (or all buffered) so the connection
-            // can resync on the next frame.
-            reader.consume(chunk);
-            if terminated {
-                return Err(true);
-            }
-            // Skip the rest of the oversized line.
-            loop {
-                let buffer = match reader.fill_buf() {
-                    Ok(b) => b,
-                    Err(err)
-                        if err.kind() == std::io::ErrorKind::WouldBlock
-                            || err.kind() == std::io::ErrorKind::TimedOut =>
-                    {
-                        if manager.shutting_down() {
-                            return Ok(None);
-                        }
-                        continue;
-                    }
-                    Err(_) => return Err(false),
-                };
-                if buffer.is_empty() {
-                    return Ok(None);
-                }
-                match buffer.iter().position(|&b| b == b'\n') {
-                    Some(newline) => {
-                        reader.consume(newline + 1);
-                        return Err(true);
-                    }
-                    None => {
-                        let len = buffer.len();
-                        reader.consume(len);
-                    }
-                }
-            }
-        }
-        line.extend_from_slice(&buffer[..chunk]);
-        reader.consume(chunk);
-        if terminated {
-            let text = String::from_utf8_lossy(&line).into_owned();
-            return Ok(Some(text));
-        }
-    }
+    let _ = stream.write_all(&response_frame(FrameCodec::Jsonl, &response));
 }
 
 fn connection_loop(stream: Stream, manager: &Arc<SessionManager>, options: ServerOptions) {
@@ -342,31 +274,40 @@ fn connection_loop(stream: Stream, manager: &Arc<SessionManager>, options: Serve
     let mut writer = write_half;
     let mut reader = BufReader::new(stream);
     let max_frame = manager.limits().max_frame_bytes;
+    let mut keep_waiting = || !manager.shutting_down();
+
+    // A connection's very first bytes pick its framing; a client may
+    // legitimately connect and idle, so the wait polls shutdown like
+    // every other read.
+    let codec = match negotiate(&mut reader, &mut keep_waiting) {
+        Ok(codec) => codec,
+        Err(_) => return,
+    };
 
     loop {
-        let line = match read_frame(&mut reader, max_frame, manager) {
-            Ok(Some(line)) => line,
-            Ok(None) => return,
-            Err(true) => {
+        let payload = match read_frame(&mut reader, codec, max_frame, &mut keep_waiting) {
+            Ok(payload) => payload,
+            Err(FrameReadError::TooLarge) => {
+                // The reader already resynced past the oversized frame;
+                // report and keep the connection.
                 let response = Response::error(
                     "",
                     ErrorKind::FrameTooLarge,
                     format!("frame exceeds {max_frame} bytes"),
                     false,
                 );
-                if writer.write_all(response.to_frame().as_bytes()).is_err() {
+                if writer.write_all(&response_frame(codec, &response)).is_err() {
                     return;
                 }
                 continue;
             }
-            Err(false) => return,
+            Err(_) => return,
         };
-        let trimmed = line.trim_end_matches(['\n', '\r']);
-        if trimmed.is_empty() {
+        if is_blank(&payload) {
             continue;
         }
 
-        let response = match parse_request(trimmed) {
+        let response = match parse_request_payload(&payload) {
             Ok(request) => {
                 let control = match options.request_timeout {
                     Some(limit) => RunControl::unlimited().with_time_limit(limit),
@@ -375,14 +316,14 @@ fn connection_loop(stream: Stream, manager: &Arc<SessionManager>, options: Serve
                 manager.handle(&request, &control)
             }
             Err(why) => Response::error(
-                &recover_id(trimmed),
+                &recover_payload_id(&payload),
                 ErrorKind::MalformedFrame,
                 format!("unparseable request frame: {why}"),
                 false,
             ),
         };
-        let is_bye = matches!(response.payload, crate::protocol::ResponsePayload::Bye);
-        if writer.write_all(response.to_frame().as_bytes()).is_err() {
+        let is_bye = matches!(response.payload, ResponsePayload::Bye);
+        if writer.write_all(&response_frame(codec, &response)).is_err() {
             return;
         }
         let _ = writer.flush();
@@ -396,9 +337,11 @@ fn connection_loop(stream: Stream, manager: &Arc<SessionManager>, options: Serve
 mod tests {
     use super::*;
     use crate::chaos::Chaos;
+    use crate::frame::{parse_response_payload, request_frame, BINARY_MAGIC};
     use crate::manager::DegradePolicy;
-    use crate::protocol::Limits;
+    use crate::protocol::{Limits, Request, RequestOp};
     use crate::store::{KillSwitch, SnapshotStore};
+    use std::io::BufRead;
 
     fn temp_server(tag: &str, limits: Limits) -> ServerHandle {
         let dir = std::env::temp_dir().join(format!("irgrid_serve_srv_{tag}"));
@@ -431,6 +374,27 @@ mod tests {
         let mut line = String::new();
         reader.read_line(&mut line).expect("reply");
         serde_json::from_str(line.trim_end()).expect("parse response")
+    }
+
+    fn simple(id: &str, op: RequestOp) -> Request {
+        Request {
+            id: id.into(),
+            session: String::new(),
+            op,
+        }
+    }
+
+    fn binary_roundtrip(
+        stream: &mut TcpStream,
+        reader: &mut BufReader<TcpStream>,
+        request: &Request,
+    ) -> Response {
+        stream
+            .write_all(&request_frame(FrameCodec::Binary, request))
+            .expect("send");
+        let payload = read_frame(reader, FrameCodec::Binary, 1 << 20, &mut || true)
+            .unwrap_or_else(|err| panic!("binary reply: {err:?}"));
+        parse_response_payload(&payload).expect("parse response")
     }
 
     #[test]
@@ -466,7 +430,7 @@ mod tests {
         assert_eq!(bad.id, "b1", "id recovered from the broken frame");
         assert!(matches!(
             bad.payload,
-            crate::protocol::ResponsePayload::Error {
+            ResponsePayload::Error {
                 kind: ErrorKind::MalformedFrame,
                 ..
             }
@@ -476,7 +440,7 @@ mod tests {
         let too_large = roundtrip(&mut stream, &huge);
         assert!(matches!(
             too_large.payload,
-            crate::protocol::ResponsePayload::Error {
+            ResponsePayload::Error {
                 kind: ErrorKind::FrameTooLarge,
                 ..
             }
@@ -493,6 +457,73 @@ mod tests {
             &mut stream,
             "{\"id\":\"b4\",\"session\":\"\",\"op\":\"Shutdown\"}\n",
         );
+        handle.join();
+    }
+
+    #[test]
+    fn binary_framing_negotiates_and_roundtrips() {
+        let handle = temp_server("binary", Limits::default());
+        let mut stream = connect(&handle);
+        stream.write_all(&BINARY_MAGIC).expect("magic");
+        let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+
+        let pong = binary_roundtrip(&mut stream, &mut reader, &simple("p1", RequestOp::Ping));
+        assert!(pong.ok, "{pong:?}");
+        assert!(matches!(pong.payload, ResponsePayload::Pong));
+
+        // A full Open/Evaluate exchange over binary frames.
+        let open = Request {
+            id: "p2".into(),
+            session: "alice".into(),
+            op: RequestOp::Open {
+                config: crate::protocol::SessionConfig::default_config(),
+            },
+        };
+        let opened = binary_roundtrip(&mut stream, &mut reader, &open);
+        assert!(opened.ok, "{opened:?}");
+
+        let bye = binary_roundtrip(&mut stream, &mut reader, &simple("p3", RequestOp::Shutdown));
+        assert!(bye.ok);
+        handle.join();
+    }
+
+    #[test]
+    fn oversized_binary_frames_get_typed_errors_not_disconnects() {
+        let handle = temp_server(
+            "binhuge",
+            Limits {
+                max_frame_bytes: 256,
+                ..Limits::default()
+            },
+        );
+        let mut stream = connect(&handle);
+        stream.write_all(&BINARY_MAGIC).expect("magic");
+        let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+
+        // A request whose binary frame exceeds the 256-byte limit.
+        let fat = Request {
+            id: "h1".into(),
+            session: "x".repeat(400),
+            op: RequestOp::Ping,
+        };
+        let frame = request_frame(FrameCodec::Binary, &fat);
+        assert!(frame.len() > 256 + 4, "fixture must exceed the limit");
+        stream.write_all(&frame).expect("send");
+        let payload = read_frame(&mut reader, FrameCodec::Binary, 1 << 20, &mut || true)
+            .unwrap_or_else(|err| panic!("reply: {err:?}"));
+        let refusal = parse_response_payload(&payload).expect("parse");
+        assert!(matches!(
+            refusal.payload,
+            ResponsePayload::Error {
+                kind: ErrorKind::FrameTooLarge,
+                ..
+            }
+        ));
+
+        // The connection resynced: a normal request still works.
+        let pong = binary_roundtrip(&mut stream, &mut reader, &simple("h2", RequestOp::Ping));
+        assert!(pong.ok);
+        binary_roundtrip(&mut stream, &mut reader, &simple("h3", RequestOp::Shutdown));
         handle.join();
     }
 
@@ -520,7 +551,7 @@ mod tests {
         let refusal: Response = serde_json::from_str(line.trim_end()).expect("parse");
         assert!(matches!(
             refusal.payload,
-            crate::protocol::ResponsePayload::Error {
+            ResponsePayload::Error {
                 kind: ErrorKind::Backpressure,
                 retryable: true,
                 ..

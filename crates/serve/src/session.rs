@@ -4,10 +4,11 @@
 //! snapshotted atomically after every mutation) with ephemeral runtime
 //! machinery: the retained irregular-grid evaluator (scratch reused
 //! across requests, the whole point of a session), the degradation-ladder
-//! fallback models, and the congestion-map LRU. Everything that matters
-//! for crash recovery lives in `SessionState`; everything else is
-//! reconstructed deterministically from it, so a daemon restart resumes
-//! the session bit-identically.
+//! fallback models, and a handle to the manager-wide
+//! [`SharedScoreCache`]. Everything that matters for crash recovery
+//! lives in `SessionState`; everything else is reconstructed
+//! deterministically from it, so a daemon restart resumes the session
+//! bit-identically.
 //!
 //! # Mutation discipline
 //!
@@ -29,7 +30,7 @@ use irgrid_fleet::state_digest;
 use irgrid_geom::{Point, Rect, Um};
 use serde::{Deserialize, Serialize};
 
-use crate::cache::LruCache;
+use crate::cache::{model_id, score_key, SharedScoreCache};
 use crate::protocol::{ErrorKind, EvalResult, FloorplanState, SessionConfig, SessionStat};
 
 /// Snapshot format version written by this library.
@@ -140,7 +141,7 @@ pub struct EvalFailure {
 }
 
 impl EvalFailure {
-    fn new(kind: ErrorKind, message: impl Into<String>, retryable: bool) -> EvalFailure {
+    pub(crate) fn new(kind: ErrorKind, message: impl Into<String>, retryable: bool) -> EvalFailure {
         EvalFailure {
             kind,
             message: message.into(),
@@ -158,14 +159,28 @@ pub struct Session {
     model: IrregularGridModel,
     lz: LzShapeModel,
     fixed: FixedGridModel,
-    cache: LruCache,
+    /// Handle to the manager-wide score cache.
+    cache: SharedScoreCache,
+    /// Whether this session participates in the shared cache
+    /// (`config.cache_capacity > 0`).
+    cache_enabled: bool,
+    /// Hits observed by *this* session (the shared counter aggregates
+    /// all sessions).
+    cache_hits: u64,
+    /// The scoring-pipeline id this session caches under.
+    cache_model: String,
     completed_ring: usize,
 }
 
 impl Session {
-    /// Creates a fresh session for `config`.
+    /// Creates a fresh session for `config`, caching scores in `cache`.
     #[must_use]
-    pub fn create(session_id: &str, config: SessionConfig, completed_ring: usize) -> Session {
+    pub fn create(
+        session_id: &str,
+        config: SessionConfig,
+        completed_ring: usize,
+        cache: SharedScoreCache,
+    ) -> Session {
         let state = SessionState {
             version: SNAPSHOT_VERSION,
             session_id: session_id.to_owned(),
@@ -173,21 +188,27 @@ impl Session {
             evals_done: 0,
             completed: Vec::new(),
         };
-        Session::from_state(state, completed_ring)
+        Session::from_state(state, completed_ring, cache)
     }
 
     /// Rebuilds a session around recovered persistent state.
     #[must_use]
-    pub fn from_state(state: SessionState, completed_ring: usize) -> Session {
+    pub fn from_state(
+        state: SessionState,
+        completed_ring: usize,
+        cache: SharedScoreCache,
+    ) -> Session {
         let pitch = Um(state.config.pitch_um.max(1));
         let model = IrregularGridModel::new(pitch);
-        let capacity = usize::try_from(state.config.cache_capacity).unwrap_or(usize::MAX);
         Session {
             evaluator: model.session(),
             model,
             lz: LzShapeModel::new(pitch),
             fixed: FixedGridModel::new(pitch),
-            cache: LruCache::new(capacity),
+            cache,
+            cache_enabled: state.config.cache_capacity > 0,
+            cache_hits: 0,
+            cache_model: model_id("irregular", pitch.0),
             completed_ring: completed_ring.max(1),
             state,
         }
@@ -211,7 +232,7 @@ impl Session {
         SessionStat {
             evals_done: self.state.evals_done,
             budget_left: budget.saturating_sub(self.state.evals_done),
-            cache_hits: self.cache.hits(),
+            cache_hits: self.cache_hits,
             completed: self.state.completed.len() as u64,
         }
     }
@@ -318,19 +339,28 @@ impl Session {
         workers: usize,
     ) -> Result<Vec<EvalResult>, EvalFailure> {
         let mut results: Vec<Option<EvalResult>> = Vec::with_capacity(states.len());
+        let mut keys = Vec::with_capacity(states.len());
         let mut pending: Vec<usize> = Vec::new();
         for (index, state) in states.iter().enumerate() {
-            let digest = state_digest(state);
-            match self.cache.get(&digest) {
-                Some(score) => results.push(Some(EvalResult {
-                    digest,
-                    score,
-                    model: DegradeRung::Full.model_name().to_owned(),
-                    cached: true,
-                })),
+            let key = score_key(&self.cache_model, state);
+            let hit = if self.cache_enabled {
+                self.cache.get(&key)
+            } else {
+                None
+            };
+            match hit {
+                Some(score) => {
+                    self.cache_hits += 1;
+                    results.push(Some(EvalResult {
+                        digest: key.digest.clone(),
+                        score,
+                        model: DegradeRung::Full.model_name().to_owned(),
+                        cached: true,
+                    }));
+                }
                 None => {
                     results.push(Some(EvalResult {
-                        digest,
+                        digest: key.digest.clone(),
                         score: 0.0,
                         model: DegradeRung::Full.model_name().to_owned(),
                         cached: false,
@@ -338,6 +368,7 @@ impl Session {
                     pending.push(index);
                 }
             }
+            keys.push(key);
         }
 
         if timed_out(request_control) {
@@ -381,8 +412,12 @@ impl Session {
         }
 
         let results: Vec<EvalResult> = results.into_iter().flatten().collect();
-        for result in results.iter().filter(|r| !r.cached) {
-            self.cache.put(&result.digest, result.score);
+        if self.cache_enabled {
+            for (result, key) in results.iter().zip(keys) {
+                if !result.cached {
+                    self.cache.put(key, result.score);
+                }
+            }
         }
         Ok(results)
     }
@@ -422,11 +457,11 @@ fn set_score(results: &mut [Option<EvalResult>], index: usize, score: f64) {
     }
 }
 
-fn timed_out(control: &RunControl) -> bool {
+pub(crate) fn timed_out(control: &RunControl) -> bool {
     control.deadline_hit() || control.cancel_hit()
 }
 
-fn deadline_failure() -> EvalFailure {
+pub(crate) fn deadline_failure() -> EvalFailure {
     EvalFailure::new(
         ErrorKind::Timeout,
         "per-request evaluation deadline passed mid-batch",
@@ -435,7 +470,7 @@ fn deadline_failure() -> EvalFailure {
 }
 
 /// Converts a wire state into model geometry, validating bounds.
-fn to_geometry(state: &FloorplanState) -> Result<(Rect, Vec<(Point, Point)>), String> {
+pub(crate) fn to_geometry(state: &FloorplanState) -> Result<(Rect, Vec<(Point, Point)>), String> {
     let [width, height] = state.chip;
     if width <= 0 || height <= 0 {
         return Err(format!("chip extent {width}x{height} is not positive"));
@@ -480,8 +515,12 @@ mod tests {
             .collect()
     }
 
+    fn shared() -> SharedScoreCache {
+        SharedScoreCache::new(256)
+    }
+
     fn session() -> Session {
-        Session::create("t", SessionConfig::default_config(), 8)
+        Session::create("t", SessionConfig::default_config(), 8, shared())
     }
 
     #[test]
@@ -595,7 +634,7 @@ mod tests {
             budget: 4,
             ..SessionConfig::default_config()
         };
-        let mut session = Session::create("b", config, 8);
+        let mut session = Session::create("b", config, 8, shared());
         let states = demo_states(3);
         session
             .evaluate(
@@ -682,7 +721,7 @@ mod tests {
 
     #[test]
     fn completed_ring_is_bounded_and_replayable() {
-        let mut session = Session::create("r", SessionConfig::default_config(), 2);
+        let mut session = Session::create("r", SessionConfig::default_config(), 2, shared());
         for k in 0..4 {
             let states = demo_states(1);
             session
@@ -772,7 +811,7 @@ mod tests {
             .expect("batch 1");
         let snapshot = first.state.to_json();
         let recovered = SessionState::from_json(&snapshot, "t").expect("parse");
-        let mut resumed = Session::from_state(recovered, 8);
+        let mut resumed = Session::from_state(recovered, 8, shared());
         resumed
             .evaluate(
                 "r2",

@@ -143,6 +143,38 @@ impl SnapshotStore {
         self.dir.join(format!("{session_id}.session.json"))
     }
 
+    /// Consults the chaos injector at a non-write boundary — e.g. the
+    /// `delta.commit` point between staging a commit and persisting it.
+    /// Nothing is staged on disk: `IoError`/`Torn` decisions fail the
+    /// operation (target snapshot untouched, retry allowed), `Kill`
+    /// trips the daemon-wide kill switch, exactly as a fault drawn
+    /// inside [`write`](Self::write) would.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] on an injected fault; [`StoreError::Killed`]
+    /// when the kill switch is (or just got) tripped.
+    pub fn consult(&self, site: &str, key: &str, index: u64) -> Result<(), StoreError> {
+        if self.kill.is_tripped() {
+            return Err(StoreError::Killed);
+        }
+        match self.chaos.decide(site, key, index) {
+            FaultDecision::None => Ok(()),
+            FaultDecision::IoError | FaultDecision::Torn { .. } => {
+                self.faults.fetch_add(1, Ordering::Relaxed);
+                Err(StoreError::Io {
+                    path: format!("<{site}>"),
+                    source: injected(site),
+                })
+            }
+            FaultDecision::Kill { .. } => {
+                self.faults.fetch_add(1, Ordering::Relaxed);
+                self.kill.trip();
+                Err(StoreError::Killed)
+            }
+        }
+    }
+
     /// Atomically writes `payload` as the snapshot for `session_id`.
     ///
     /// `write_seq` is the session's monotonically increasing write

@@ -18,8 +18,8 @@ use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use irgrid_serve::{
-    serve, Chaos, ChaosConfig, Client, ClientError, DegradePolicy, FloorplanState, KillSwitch,
-    Limits, Request, RequestOp, Response, ResponsePayload, ServerHandle, ServerOptions,
+    serve, Chaos, ChaosConfig, Client, ClientError, DegradePolicy, ErrorKind, FloorplanState,
+    KillSwitch, Limits, Request, RequestOp, Response, ResponsePayload, ServerHandle, ServerOptions,
     SessionConfig, SessionManager, SnapshotStore, Transport,
 };
 
@@ -445,6 +445,370 @@ fn killed_daemon_resumes_sessions_bit_identically_after_restart() {
         assert!(
             serde_json::from_str::<serde::Value>(&text).is_err(),
             "torn staging file unexpectedly parses as complete JSON"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Delta-session chaos: the same byte-identity discipline for the
+// move-shaped Propose/Commit/Undo pipeline. A delta session's snapshot
+// carries the committed floorplan, the commit journal (sequence,
+// digest, score, map fingerprint), and the commit idempotency ring —
+// all of which must survive kills at the new `delta.commit` site and at
+// the persist boundary, byte for byte.
+// ---------------------------------------------------------------------
+
+fn delta_session_name(client: usize) -> String {
+    format!("delta-{client}")
+}
+
+fn delta_open(client: usize) -> Request {
+    Request {
+        id: format!("d{client}-open"),
+        session: delta_session_name(client),
+        op: RequestOp::OpenDelta { config: config() },
+    }
+}
+
+/// The single move-candidate state client `c` proposes at step `s`.
+fn delta_state_for(client: usize, step: usize) -> FloorplanState {
+    states_for(client, step).remove(0)
+}
+
+/// Whether step `s` is a rejected move (propose → undo) or an accepted
+/// one (propose → commit).
+fn step_is_rejected(step: usize) -> bool {
+    step % 3 == 2
+}
+
+/// How one attempt at a delta step (or reopen) ended.
+enum StepOutcome {
+    Done,
+    /// Transient failure (transport, retries exhausted, lost pending):
+    /// re-run the whole step — propose is pure, commit is idempotent.
+    Retry,
+    /// The daemon restarted and forgot the live session: re-send
+    /// `OpenDelta` (which resumes and verifies the checkpoint) first.
+    Reopen,
+}
+
+/// Runs one full delta step — propose, then commit or undo — recording
+/// every score it sees. Request ids are stable per step, so a commit
+/// whose reply was lost replays from the idempotency ring on re-send.
+fn drive_delta_step(
+    client: &mut Client,
+    client_index: usize,
+    step: usize,
+    attempts: u32,
+    scores: &mut BTreeMap<String, f64>,
+) -> StepOutcome {
+    let session = delta_session_name(client_index);
+    let propose = Request {
+        id: format!("d{client_index}-prop-{step}"),
+        session: session.clone(),
+        op: RequestOp::Propose {
+            state: delta_state_for(client_index, step),
+        },
+    };
+    let response = match client.call(&propose, attempts) {
+        Ok(response) => response,
+        Err(ClientError::Transport(_) | ClientError::RetriesExhausted(_)) => {
+            return StepOutcome::Retry;
+        }
+        Err(err) => panic!("protocol violation under chaos: {err}"),
+    };
+    let digest = match &response.payload {
+        ResponsePayload::Proposed { digest, score } => {
+            scores.insert(propose.id.clone(), *score);
+            digest.clone()
+        }
+        ResponsePayload::Error {
+            kind: ErrorKind::UnknownSession,
+            ..
+        } => return StepOutcome::Reopen,
+        other => panic!("non-retryable propose failure: {other:?}"),
+    };
+
+    let followup = if step_is_rejected(step) {
+        Request {
+            id: format!("d{client_index}-undo-{step}"),
+            session,
+            op: RequestOp::Undo,
+        }
+    } else {
+        Request {
+            id: format!("d{client_index}-commit-{step}"),
+            session,
+            op: RequestOp::Commit { digest },
+        }
+    };
+    let response = match client.call(&followup, attempts) {
+        Ok(response) => response,
+        Err(ClientError::Transport(_) | ClientError::RetriesExhausted(_)) => {
+            return StepOutcome::Retry;
+        }
+        Err(err) => panic!("protocol violation under chaos: {err}"),
+    };
+    match &response.payload {
+        ResponsePayload::Committed { score, .. } | ResponsePayload::Undone { score } => {
+            scores.insert(followup.id.clone(), *score);
+            StepOutcome::Done
+        }
+        ResponsePayload::Error {
+            kind: ErrorKind::UnknownSession,
+            ..
+        } => StepOutcome::Reopen,
+        // The daemon restarted between propose and commit: the pending
+        // proposal is volatile by design. Re-propose, then re-commit.
+        ResponsePayload::Error {
+            kind: ErrorKind::NoPendingProposal,
+            ..
+        } => StepOutcome::Retry,
+        other => panic!("non-retryable {} failure: {other:?}", followup.id),
+    }
+}
+
+/// Runs every delta client script to completion against a clean daemon.
+fn run_delta_reference(state_dir: &Path) -> BTreeMap<String, f64> {
+    let daemon = start_daemon(state_dir, Chaos::off(), 1);
+    let mut scores = BTreeMap::new();
+    for client_index in 0..CLIENTS {
+        let mut client = Client::new(daemon.handle.transport().clone());
+        let opened = client.call(&delta_open(client_index), 3).expect("open");
+        assert!(opened.ok, "{opened:?}");
+        for step in 0..STEPS {
+            match drive_delta_step(&mut client, client_index, step, 3, &mut scores) {
+                StepOutcome::Done => {}
+                _ => panic!("clean delta run must not fault (client {client_index} step {step})"),
+            }
+        }
+    }
+    stop_daemon(daemon);
+    scores
+}
+
+/// Drives every delta script against a chaotic daemon, restarting on
+/// kills, with the full retry contract (reopen on `UnknownSession`,
+/// re-propose on `NoPendingProposal`, resend on anything retryable).
+fn run_delta_chaotic(state_dir: &Path, seed: u64) -> (BTreeMap<String, f64>, usize, u64) {
+    let mix = ChaosConfig {
+        io_error_ppm: 150_000,
+        torn_ppm: 100_000,
+        kill_ppm: 60_000,
+    };
+    let chaos_for = |epoch: u64| Chaos::with_config(seed, mix).with_epoch(epoch);
+    let mut daemon = start_daemon(state_dir, chaos_for(0), 1);
+    let mut clients: Vec<Client> = (0..CLIENTS)
+        .map(|_| Client::new(daemon.handle.transport().clone()))
+        .collect();
+    let mut positions = [0usize; CLIENTS];
+    let mut opened = [false; CLIENTS];
+    let mut scores: BTreeMap<String, f64> = BTreeMap::new();
+    let mut restarts = 0usize;
+    let mut injected_faults = 0u64;
+
+    while positions.iter().any(|&p| p < STEPS) {
+        for client_index in 0..CLIENTS {
+            if positions[client_index] >= STEPS {
+                continue;
+            }
+            if !opened[client_index] {
+                match clients[client_index].call(&delta_open(client_index), ATTEMPTS_PER_ROUND) {
+                    Ok(response) if response.ok => opened[client_index] = true,
+                    Ok(response) => panic!("delta reopen refused: {response:?}"),
+                    Err(ClientError::Transport(_) | ClientError::RetriesExhausted(_)) => continue,
+                    Err(err) => panic!("protocol violation under chaos: {err}"),
+                }
+            }
+            match drive_delta_step(
+                &mut clients[client_index],
+                client_index,
+                positions[client_index],
+                ATTEMPTS_PER_ROUND,
+                &mut scores,
+            ) {
+                StepOutcome::Done => positions[client_index] += 1,
+                StepOutcome::Retry => {}
+                StepOutcome::Reopen => opened[client_index] = false,
+            }
+        }
+
+        if daemon.kill.is_tripped() {
+            restarts += 1;
+            assert!(
+                restarts <= MAX_RESTARTS,
+                "daemon not making progress after {restarts} restarts"
+            );
+            injected_faults += daemon.handle.manager().injected_faults();
+            stop_daemon(daemon);
+            daemon = start_daemon(state_dir, chaos_for(restarts as u64), 1);
+            let transport = daemon.handle.transport().clone();
+            clients = (0..CLIENTS)
+                .map(|_| Client::new(transport.clone()))
+                .collect();
+            opened = [false; CLIENTS];
+        }
+    }
+
+    injected_faults += daemon.handle.manager().injected_faults();
+    stop_daemon(daemon);
+    (scores, restarts, injected_faults)
+}
+
+#[test]
+fn chaotic_delta_sessions_converge_to_the_uninterrupted_state_byte_for_byte() {
+    let reference_dir = temp_dir("delta_reference");
+    let reference = run_delta_reference(&reference_dir);
+    let reference_snapshots = snapshots(&reference_dir);
+    assert_eq!(reference_snapshots.len(), CLIENTS);
+
+    let chaotic_dir = temp_dir("delta_chaotic");
+    let (scores, restarts, injected_faults) = run_delta_chaotic(&chaotic_dir, 0x0DE17A);
+    assert!(
+        injected_faults > 0,
+        "chaos seed injected nothing; the suite is not exercising faults"
+    );
+    eprintln!("delta chaos run: {injected_faults} injected fault(s), {restarts} restart(s)");
+
+    // Committed maps, commit journals (digests, scores, map
+    // fingerprints), and idempotency rings: all byte-identical.
+    let chaotic_snapshots = snapshots(&chaotic_dir);
+    assert_eq!(
+        chaotic_snapshots.keys().collect::<Vec<_>>(),
+        reference_snapshots.keys().collect::<Vec<_>>()
+    );
+    for (id, reference_text) in &reference_snapshots {
+        assert_eq!(
+            &chaotic_snapshots[id], reference_text,
+            "delta session `{id}` diverged from the uninterrupted run"
+        );
+    }
+
+    // Every propose/commit/undo score matches the clean run bit for bit.
+    for (request_id, want) in &reference {
+        let got = scores
+            .get(request_id)
+            .unwrap_or_else(|| panic!("chaotic run never completed {request_id}"));
+        assert_eq!(
+            want.to_bits(),
+            got.to_bits(),
+            "score diverged for {request_id}"
+        );
+    }
+}
+
+#[test]
+fn killed_delta_daemon_recovers_committed_map_and_journal_bit_identically() {
+    // The focused propose → kill → restart scenario, with the kill
+    // injected deterministically at the dedicated `delta.commit` site
+    // (after the commit is staged, before anything durable changes).
+    let continuous_dir = temp_dir("delta_kill_continuous");
+    let mut continuous_scores = BTreeMap::new();
+    {
+        let daemon = start_daemon(&continuous_dir, Chaos::off(), 1);
+        let mut client = Client::new(daemon.handle.transport().clone());
+        assert!(client.call(&delta_open(0), 3).expect("open").ok);
+        for step in 0..STEPS {
+            assert!(matches!(
+                drive_delta_step(&mut client, 0, step, 3, &mut continuous_scores),
+                StepOutcome::Done
+            ));
+        }
+        stop_daemon(daemon);
+    }
+
+    let interrupted_dir = temp_dir("delta_kill_interrupted");
+    let half = STEPS / 2;
+    let mut recovered_scores = BTreeMap::new();
+    {
+        let daemon = start_daemon(&interrupted_dir, Chaos::off(), 1);
+        let mut client = Client::new(daemon.handle.transport().clone());
+        assert!(client.call(&delta_open(0), 3).expect("open").ok);
+        for step in 0..half {
+            assert!(matches!(
+                drive_delta_step(&mut client, 0, step, 3, &mut recovered_scores),
+                StepOutcome::Done
+            ));
+        }
+        // A manager whose every chaos consultation draws a kill: the
+        // propose succeeds (pure, no store traffic), and the commit dies
+        // at the `delta.commit` site with nothing staged on disk.
+        let kill_all = Chaos::with_config(
+            2,
+            ChaosConfig {
+                io_error_ppm: 0,
+                torn_ppm: 0,
+                kill_ppm: 1_000_000,
+            },
+        );
+        let kill_store =
+            SnapshotStore::open(&interrupted_dir, kill_all, daemon.kill.clone()).expect("store");
+        let killed_manager = Arc::new(SessionManager::new(
+            kill_store,
+            Limits::default(),
+            DegradePolicy::default(),
+            1,
+        ));
+        let control = irgrid_anneal::RunControl::unlimited();
+        let reopened = killed_manager.handle(&delta_open(0), &control);
+        assert!(reopened.ok, "{reopened:?}");
+        let before = snapshots(&interrupted_dir);
+        let propose = Request {
+            id: format!("d0-prop-{half}"),
+            session: delta_session_name(0),
+            op: RequestOp::Propose {
+                state: delta_state_for(0, half),
+            },
+        };
+        let proposed = killed_manager.handle(&propose, &control);
+        assert!(proposed.ok, "propose is pure, kill cannot touch it");
+        let ResponsePayload::Proposed { digest, .. } = &proposed.payload else {
+            panic!("payload {proposed:?}");
+        };
+        let commit = Request {
+            id: format!("d0-commit-{half}"),
+            session: delta_session_name(0),
+            op: RequestOp::Commit {
+                digest: digest.clone(),
+            },
+        };
+        let refused = killed_manager.handle(&commit, &control);
+        assert!(!refused.ok, "kill-injected commit must fail: {refused:?}");
+        assert!(daemon.kill.is_tripped(), "delta.commit site must kill");
+        assert_eq!(
+            snapshots(&interrupted_dir),
+            before,
+            "the killed commit must leave the snapshot untouched"
+        );
+        stop_daemon(daemon);
+    }
+    // "Reboot" over the same state directory and finish the script. The
+    // resume path rebuilds the evaluator, replays the committed map, and
+    // verifies cost bits + map fingerprint before serving; the whole
+    // interrupted step re-runs (the pending proposal was volatile).
+    {
+        let daemon = start_daemon(&interrupted_dir, Chaos::off(), 1);
+        let mut client = Client::new(daemon.handle.transport().clone());
+        assert!(client.call(&delta_open(0), 3).expect("reopen").ok);
+        for step in half..STEPS {
+            assert!(matches!(
+                drive_delta_step(&mut client, 0, step, 3, &mut recovered_scores),
+                StepOutcome::Done
+            ));
+        }
+        stop_daemon(daemon);
+    }
+
+    assert_eq!(
+        snapshots(&interrupted_dir),
+        snapshots(&continuous_dir),
+        "post-kill delta recovery diverged from the continuous run"
+    );
+    for (request_id, want) in &continuous_scores {
+        assert_eq!(
+            want.to_bits(),
+            recovered_scores[request_id].to_bits(),
+            "score diverged for {request_id}"
         );
     }
 }
