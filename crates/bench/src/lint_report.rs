@@ -1,0 +1,112 @@
+//! `repro lint-report` — the machine-readable lint-health artifact.
+//!
+//! Runs the in-repo `irgrid-lint` engine over the workspace once with
+//! the full rule set and once per rule family (timing each), then emits
+//! `BENCH_lint.json`: finding counts per rule, the per-crate
+//! suppression-debt ledger, the CI debt ceiling, and per-rule wall
+//! times. Timing lives here rather than in the lint library so the lint
+//! itself stays a pure function of the source tree — two runs over the
+//! same tree produce byte-identical reports.
+
+use std::time::Instant;
+
+use serde::Serialize;
+
+use crate::common::die;
+use crate::report;
+
+/// One rule family's sweep result.
+#[derive(Serialize)]
+struct RuleStat {
+    /// Rule ID (`D1` … `S5`).
+    rule: String,
+    /// Unsuppressed findings this rule alone reports on the workspace.
+    findings: usize,
+    /// Wall time of the single-rule engine run, milliseconds.
+    wall_ms: f64,
+}
+
+/// Per-crate live-allow count, mirrored from the lint report.
+#[derive(Serialize)]
+struct CrateDebt {
+    name: String,
+    live_allows: usize,
+}
+
+/// The `BENCH_lint.json` payload.
+#[derive(Serialize)]
+struct LintReport {
+    /// Artifact format version.
+    version: u32,
+    /// First-party source files scanned.
+    scanned_files: usize,
+    /// Unsuppressed findings from the full-rule-set run. CI greps this
+    /// for zero.
+    finding_count: usize,
+    /// Workspace-wide live allow directives.
+    debt_total: usize,
+    /// The ceiling CI holds `debt_total` under.
+    debt_ceiling: usize,
+    /// Live allows per crate (zero-debt crates omitted).
+    suppression_debt: Vec<CrateDebt>,
+    /// Per-family sweep stats, in rule order.
+    rules: Vec<RuleStat>,
+}
+
+/// Runs the sweeps and emits the report (default `BENCH_lint.json`,
+/// overridable with `--out`).
+pub fn run(args: &[String]) {
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .filter(|a| !a.starts_with("--"))
+        .map_or("BENCH_lint.json", String::as_str);
+
+    let cwd = std::env::current_dir().unwrap_or_else(|err| die(&format!("no cwd: {err}")));
+    let Some(root) = irgrid_lint::find_workspace_root(&cwd) else {
+        die("no workspace root above the current directory");
+    };
+
+    let full = irgrid_lint::run(&root, &irgrid_lint::EngineConfig::default())
+        .unwrap_or_else(|err| die(&format!("lint sweep failed: {err}")));
+
+    let mut rules = Vec::new();
+    for rule in irgrid_lint::RULE_IDS {
+        let config = irgrid_lint::EngineConfig {
+            rules: irgrid_lint::RuleConfig {
+                rules: vec![(*rule).to_owned()],
+                ..irgrid_lint::RuleConfig::default()
+            },
+            ..irgrid_lint::EngineConfig::default()
+        };
+        let started = Instant::now();
+        let single = irgrid_lint::run(&root, &config)
+            .unwrap_or_else(|err| die(&format!("lint sweep ({rule}) failed: {err}")));
+        rules.push(RuleStat {
+            rule: (*rule).to_owned(),
+            findings: single.findings.iter().filter(|f| f.rule == **rule).count(),
+            wall_ms: started.elapsed().as_secs_f64() * 1e3,
+        });
+    }
+
+    report::emit(
+        out_path,
+        &LintReport {
+            version: 1,
+            scanned_files: full.scanned_files,
+            finding_count: full.finding_count,
+            debt_total: full.debt_total,
+            debt_ceiling: irgrid_lint::DEBT_CEILING,
+            suppression_debt: full
+                .suppression_debt
+                .iter()
+                .map(|d| CrateDebt {
+                    name: d.name.clone(),
+                    live_allows: d.live_allows,
+                })
+                .collect(),
+            rules,
+        },
+    );
+}

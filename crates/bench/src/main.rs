@@ -20,7 +20,10 @@
 //!   fleet       Multi-replica annealing via irgrid-fleet (BENCH_fleet.json)
 //!   serve-bench Concurrent-client daemon throughput + robustness report
 //!               (BENCH_serve.json)
-//!   all         Everything above (except congestion-perf, fleet, serve-bench)
+//!   lint-report Workspace lint health: per-rule finding counts and wall
+//!               times plus the suppression-debt ledger (BENCH_lint.json)
+//!   all         Everything above (except congestion-perf, fleet,
+//!               serve-bench, lint-report)
 //!
 //! flags:
 //!   --quick           2 seeds, short schedule (smoke run)
@@ -70,6 +73,7 @@ mod figure8;
 mod figure9;
 mod fleet;
 mod heatmap;
+mod lint_report;
 mod motivation;
 mod perf;
 mod report;
@@ -153,6 +157,7 @@ fn main() {
             perf::run(&mode, perf_circuit, &args);
         }
         "serve-bench" => serve::run(&mode, &args),
+        "lint-report" => lint_report::run(&args),
         "validate" => {
             let n = if args.iter().any(|a| a == "--quick") {
                 6

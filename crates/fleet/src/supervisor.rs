@@ -333,7 +333,6 @@ impl Fleet {
             events: state.telemetry.into_events(),
             rounds: state.rounds_done,
             complete,
-            // irgrid-lint: allow(D1): elapsed-time reporting only; never feeds results
             wall_s: started.elapsed().as_secs_f64(),
         })
     }

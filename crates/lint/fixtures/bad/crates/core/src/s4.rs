@@ -1,0 +1,8 @@
+//! S4 fixture: float equality and partial ordering in a cost crate.
+
+pub fn pick(costs: &mut [f64], threshold: f64) -> bool {
+    costs.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let zero = costs[0] == 0.0;
+    let capped = threshold != f64::INFINITY;
+    zero && capped
+}

@@ -1,0 +1,7 @@
+//! S2 fixture registry: misses the consulted site and carries a dead one.
+
+/// The central site table for the bad corpus.
+pub const REGISTERED_SITES: &[&str] = &[
+    "persist.session",   // never consulted anywhere in this corpus
+    "registry.dead-site", // never consulted anywhere in this corpus
+];

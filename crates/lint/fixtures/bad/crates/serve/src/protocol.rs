@@ -1,0 +1,17 @@
+//! S3 fixture: protocol enums missing their structured annotations.
+
+/// Errors the fixture daemon reports.
+pub enum ErrorKind {
+    /// The daemon is overloaded; no classification given.
+    Backpressure,
+    /// Annotated, but with a word outside the vocabulary. [retry: perhaps]
+    Timeout,
+}
+
+/// Requests the fixture daemon accepts.
+pub enum RequestOp {
+    /// No idempotency note at all.
+    Evaluate,
+    /// Properly noted. [idempotency: read-only]
+    Stat,
+}

@@ -1,0 +1,23 @@
+//! S1 fixture: raw filesystem writes on state paths outside the blessed
+//! atomic writer modules.
+
+use std::fs;
+use std::io::Write;
+use std::path::Path;
+
+pub fn save_session(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    fs::write(path, bytes)
+}
+
+pub fn save_manifest(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    let mut file = fs::File::create(path)?;
+    file.write_all(bytes)
+}
+
+pub fn swap_in(tmp: &Path, path: &Path) -> std::io::Result<()> {
+    fs::rename(tmp, path)
+}
+
+pub fn append_log(path: &Path) -> std::io::Result<fs::File> {
+    fs::OpenOptions::new().append(true).open(path)
+}

@@ -1,0 +1,19 @@
+//! S2 fixture: chaos consult sites the registry cannot vouch for.
+
+pub struct Injector;
+
+impl Injector {
+    pub fn consult(&self, _site: &str, _key: &str, _index: u64) -> bool {
+        false
+    }
+}
+
+/// Typo'd site: the fixture registry spells it `persist.session`.
+pub fn write_with_typo(chaos: &Injector) -> bool {
+    chaos.consult("persist.sessoin", "alice", 0)
+}
+
+/// Non-literal site outside the injector plumbing.
+pub fn dynamic_site(chaos: &Injector, site: &str) -> bool {
+    chaos.consult(site, "alice", 1)
+}

@@ -1,0 +1,8 @@
+//! S4 fixture (good): total ordering and bit-identity comparisons.
+
+pub fn pick(costs: &mut [f64], threshold: f64) -> bool {
+    costs.sort_by(|a, b| a.total_cmp(b));
+    let zero = costs[0].to_bits() == 0.0f64.to_bits();
+    let capped = threshold.to_bits() != f64::INFINITY.to_bits();
+    zero && capped
+}

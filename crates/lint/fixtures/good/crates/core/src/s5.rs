@@ -1,0 +1,4 @@
+//! S5 fixture (good): a live suppression earning its keep.
+
+// irgrid-lint: allow(D1): fixture demonstrates a live suppression; iteration order never observed
+pub type ScratchMap = std::collections::HashMap<u32, u64>;

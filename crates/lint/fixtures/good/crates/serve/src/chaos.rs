@@ -1,0 +1,4 @@
+//! S2 fixture registry (good): exactly the sites the corpus consults.
+
+/// The central site table for the good corpus.
+pub const REGISTERED_SITES: &[&str] = &["persist.session"];

@@ -1,0 +1,17 @@
+//! S3 fixture (good): every variant carries its classification.
+
+/// Errors the fixture daemon reports.
+pub enum ErrorKind {
+    /// Queue full. [retry: always — transient load]
+    Backpressure,
+    /// Deadline passed mid-batch. [retry: conditional — after reopening]
+    Timeout,
+}
+
+/// Requests the fixture daemon accepts.
+pub enum RequestOp {
+    /// Score a batch. [idempotency: deduplicated by request id]
+    Evaluate,
+    /// Counters only. [idempotency: read-only]
+    Stat,
+}

@@ -1,0 +1,21 @@
+//! S1 fixture (good): durable bytes route through the blessed atomic
+//! writer; test code may stage raw files freely.
+
+use std::path::Path;
+
+pub trait AtomicStore {
+    fn persist(&self, path: &Path, bytes: &[u8]) -> std::io::Result<()>;
+}
+
+pub fn save_session(store: &dyn AtomicStore, path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    store.persist(path, bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn staging_in_tests_is_exempt() {
+        let dir = std::env::temp_dir();
+        std::fs::write(dir.join("s1-fixture"), b"scratch").expect("test scratch write");
+    }
+}

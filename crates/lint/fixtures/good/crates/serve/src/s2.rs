@@ -1,0 +1,13 @@
+//! S2 fixture (good): every consult site is a literal the registry lists.
+
+pub struct Injector;
+
+impl Injector {
+    pub fn consult(&self, _site: &str, _key: &str, _index: u64) -> bool {
+        false
+    }
+}
+
+pub fn write_session(chaos: &Injector) -> bool {
+    chaos.consult("persist.session", "alice", 0)
+}

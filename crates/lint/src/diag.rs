@@ -28,6 +28,16 @@ impl Finding {
     }
 }
 
+/// Live suppression count for one crate — the S5 debt ledger entry.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct CrateDebt {
+    /// Crate name (the directory under `crates/`).
+    pub name: String,
+    /// Allow directives in this crate that still suppress a live
+    /// finding.
+    pub live_allows: usize,
+}
+
 /// A whole lint run, for `--format json`.
 #[derive(Debug, Serialize)]
 pub struct Report {
@@ -38,20 +48,39 @@ pub struct Report {
     /// Number of findings (redundant with `findings.len()`, kept so the
     /// JSON is self-describing when findings are elided downstream).
     pub finding_count: usize,
+    /// Total live allow directives across the workspace. Gated against
+    /// [`crate::DEBT_CEILING`] in CI.
+    pub debt_total: usize,
+    /// Per-crate live-allow counts, sorted by crate name; crates with
+    /// zero debt are omitted.
+    pub suppression_debt: Vec<CrateDebt>,
     /// The findings, sorted by (file, line, col, rule).
     pub findings: Vec<Finding>,
 }
 
 impl Report {
-    /// Builds a report, sorting findings into a stable order.
-    pub fn new(mut findings: Vec<Finding>, scanned_files: usize) -> Report {
+    /// Builds a report with no debt ledger (single-file / test use).
+    pub fn new(findings: Vec<Finding>, scanned_files: usize) -> Report {
+        Report::with_debt(findings, scanned_files, Vec::new())
+    }
+
+    /// Builds a report, sorting findings and the debt ledger into a
+    /// stable order.
+    pub fn with_debt(
+        mut findings: Vec<Finding>,
+        scanned_files: usize,
+        mut suppression_debt: Vec<CrateDebt>,
+    ) -> Report {
         findings.sort_by(|a, b| {
             (&a.file, a.line, a.col, &a.rule).cmp(&(&b.file, b.line, b.col, &b.rule))
         });
+        suppression_debt.sort_by(|a, b| a.name.cmp(&b.name));
         Report {
-            version: 1,
+            version: 2,
             scanned_files,
             finding_count: findings.len(),
+            debt_total: suppression_debt.iter().map(|d| d.live_allows).sum(),
+            suppression_debt,
             findings,
         }
     }
@@ -71,8 +100,9 @@ impl Report {
                     out.push('\n');
                 }
                 out.push_str(&format!(
-                    "irgrid-lint: {} finding(s) in {} file(s) scanned\n",
-                    self.finding_count, self.scanned_files
+                    "irgrid-lint: {} finding(s) in {} file(s) scanned; \
+                     suppression debt {} live allow(s)\n",
+                    self.finding_count, self.scanned_files, self.debt_total
                 ));
                 out
             }

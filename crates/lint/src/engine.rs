@@ -4,8 +4,9 @@ use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
-use crate::diag::{Finding, Report};
-use crate::rules::{check_file, RuleConfig};
+use crate::diag::{CrateDebt, Report};
+use crate::invariants::{check_site_registry, SiteRegistry};
+use crate::rules::{analyze_file, finalize_file, FileAnalysis, RuleConfig};
 use crate::scan::Scan;
 
 /// What to lint and how.
@@ -43,8 +44,12 @@ pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
 /// The lint fixture corpus (`crates/lint/fixtures/`) is intentionally
 /// full of violations and lives outside any `src/` tree.
 pub fn run(root: &Path, config: &EngineConfig) -> io::Result<Report> {
-    let mut findings: Vec<Finding> = Vec::new();
-    let mut scanned = 0usize;
+    struct Entry {
+        rel: String,
+        scan: Scan,
+        analysis: FileAnalysis,
+    }
+    let mut entries: Vec<Entry> = Vec::new();
 
     let crates_dir = root.join("crates");
     let mut crate_dirs: Vec<PathBuf> = fs::read_dir(&crates_dir)?
@@ -66,12 +71,72 @@ pub fn run(root: &Path, config: &EngineConfig) -> io::Result<Report> {
             }
             let source = fs::read_to_string(&file)?;
             let scan = Scan::new(&source);
-            findings.extend(check_file(&rel, &scan, &config.rules));
-            scanned += 1;
+            let analysis = analyze_file(&rel, &scan, &config.rules);
+            entries.push(Entry {
+                rel,
+                scan,
+                analysis,
+            });
+        }
+    }
+    let scanned = entries.len();
+
+    // S2 cross-file pass: every literal consult site against the
+    // registry, plus dead-site detection. Only a complete scan (no path
+    // filters) can judge registry completeness — a partial run skipped
+    // the files that would prove a site live.
+    let complete = config.path_filters.is_empty();
+    let registry: Option<(String, SiteRegistry)> = entries.iter().find_map(|e| {
+        e.analysis
+            .registry
+            .as_ref()
+            .map(|r| (e.rel.clone(), r.clone()))
+    });
+    let site_files: Vec<(String, Vec<_>)> = entries
+        .iter()
+        .map(|e| (e.rel.clone(), e.analysis.consult_sites.clone()))
+        .collect();
+    for (file, finding) in check_site_registry(&site_files, registry.as_ref(), complete) {
+        if let Some(entry) = entries.iter_mut().find(|e| e.rel == file) {
+            entry.analysis.findings.push(finding);
         }
     }
 
-    Ok(Report::new(findings, scanned))
+    // Finalize: suppressions, S5 staleness, per-crate debt.
+    let stale_exempt: &[&str] = if complete { &[] } else { &["S2"] };
+    let mut findings = Vec::new();
+    let mut debt: Vec<CrateDebt> = Vec::new();
+    for entry in entries {
+        let outcome = finalize_file(
+            &entry.rel,
+            &entry.scan,
+            &config.rules,
+            entry.analysis,
+            stale_exempt,
+        );
+        findings.extend(outcome.findings);
+        if outcome.live_allows > 0 {
+            let name = crate_name(&entry.rel);
+            match debt.iter_mut().find(|d| d.name == name) {
+                Some(d) => d.live_allows += outcome.live_allows,
+                None => debt.push(CrateDebt {
+                    name,
+                    live_allows: outcome.live_allows,
+                }),
+            }
+        }
+    }
+
+    Ok(Report::with_debt(findings, scanned, debt))
+}
+
+/// The crate a workspace-relative path belongs to
+/// (`crates/<name>/...` → `<name>`).
+fn crate_name(rel: &str) -> String {
+    rel.strip_prefix("crates/")
+        .and_then(|r| r.split('/').next())
+        .unwrap_or(rel)
+        .to_owned()
 }
 
 fn path_filter_matches(config: &EngineConfig, rel: &str) -> bool {

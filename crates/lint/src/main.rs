@@ -130,6 +130,26 @@ fn rule_table() -> String {
             "unsafe gate: every library crate root forbids unsafe_code",
         ),
         (
+            "S1",
+            "atomic persistence: no raw file writes outside the blessed writer modules",
+        ),
+        (
+            "S2",
+            "chaos registry: consult sites must be literals listed in REGISTERED_SITES",
+        ),
+        (
+            "S3",
+            "protocol notes: ErrorKind needs [retry: ...], RequestOp needs [idempotency: ...]",
+        ),
+        (
+            "S4",
+            "float compare: no f64/f32 ==/!= or partial_cmp outside to_bits/total_cmp idioms",
+        ),
+        (
+            "S5",
+            "suppression debt: stale allows are findings; live allows count against the ceiling",
+        ),
+        (
             "A1",
             "(reserved) malformed `irgrid-lint: allow(...)` directive",
         ),

@@ -1,0 +1,507 @@
+//! A lightweight token/item model over the masked scan.
+//!
+//! The v1 rules are pure line matchers; the v2 invariant rules need a
+//! little structure: *which enum has which variants with which doc
+//! annotations* (S3), and *which method calls pass which string literal
+//! as their first argument* (S2). This module recovers exactly that much
+//! — items and call sites — from the masked text, reading literal and
+//! doc content back out of the raw source only after a position has been
+//! located in the masked copy. It is still lexical (no `syn`, no new
+//! dependencies): brace/angle matching instead of a grammar, with the
+//! same conservative-match-plus-allow escape hatch as the rest of the
+//! lint.
+
+use crate::scan::{token_positions, Scan};
+
+/// One `enum` item recovered from a source file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EnumItem {
+    /// The enum's name.
+    pub name: String,
+    /// 1-based line of the `enum` keyword.
+    pub line: usize,
+    /// Whether the item sits inside a `#[cfg(test)]` extent.
+    pub is_test: bool,
+    /// The variants, in declaration order.
+    pub variants: Vec<EnumVariant>,
+}
+
+/// One variant of an [`EnumItem`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EnumVariant {
+    /// The variant's name.
+    pub name: String,
+    /// 1-based line the variant name sits on.
+    pub line: usize,
+    /// The `///` doc-comment text attached immediately above the
+    /// variant (and any attributes), comment markers stripped.
+    pub docs: Vec<String>,
+}
+
+/// One `.method(` call site whose first argument is inspected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CallSite {
+    /// 1-based line of the call.
+    pub line: usize,
+    /// 1-based byte column of the `.` introducing the call.
+    pub col: usize,
+    /// The first argument when it is a same-line plain string literal;
+    /// `None` for anything else (variable, expression, next line).
+    pub literal_arg: Option<String>,
+    /// Whether the call sits inside a `#[cfg(test)]` extent.
+    pub is_test: bool,
+}
+
+/// The item model for one scanned file.
+#[derive(Debug)]
+pub struct Model<'a> {
+    scan: &'a Scan,
+}
+
+impl<'a> Model<'a> {
+    /// Builds the model over a completed scan.
+    pub fn new(scan: &'a Scan) -> Model<'a> {
+        Model { scan }
+    }
+
+    /// Every `enum` item in the file (test and non-test; the caller
+    /// filters on [`EnumItem::is_test`] as its rule requires).
+    pub fn enums(&self) -> Vec<EnumItem> {
+        let mut out = Vec::new();
+        for line_no in 1..=self.scan.line_count() {
+            let line = self.scan.masked_line(line_no);
+            for col in token_positions(line, "enum") {
+                // `enum` must be an item keyword here, not part of a
+                // path or macro body we cannot interpret; requiring the
+                // next token to be an identifier filters `enum` inside
+                // e.g. `macro_rules!` transcription fragments.
+                let Some((name, after_name)) = ident_after(line, col + 4) else {
+                    continue;
+                };
+                if let Some(item) = self.parse_enum(line_no, name, after_name) {
+                    out.push(item);
+                }
+            }
+        }
+        out
+    }
+
+    /// Every `.{method}(` call site in the file, with its first argument
+    /// when that argument is a same-line string literal.
+    pub fn call_sites(&self, method: &str) -> Vec<CallSite> {
+        let needle = format!(".{method}(");
+        let mut out = Vec::new();
+        for line_no in 1..=self.scan.line_count() {
+            let masked = self.scan.masked_line(line_no);
+            for col in token_positions(masked, &needle) {
+                let after_paren = col + needle.len();
+                out.push(CallSite {
+                    line: line_no,
+                    col: col + 1,
+                    literal_arg: first_literal_arg(self.scan.raw_line(line_no), after_paren),
+                    is_test: self.scan.is_test_line(line_no),
+                });
+            }
+        }
+        out
+    }
+
+    /// Parses one enum starting at (`line_no`, `col`); `after_name` is
+    /// the column just past the name on that line.
+    fn parse_enum(&self, line_no: usize, name: String, after_name: usize) -> Option<EnumItem> {
+        // Find the body-opening `{` at angle depth 0, skipping generics
+        // (`<...>`, tolerant of `->` inside `Fn` bounds) and any `where`
+        // clause. The search is bounded to keep degenerate input cheap.
+        let mut angle = 0i32;
+        let mut body: Option<(usize, usize)> = None; // (line, col of `{`)
+        let mut cur_line = line_no;
+        let mut cur_col = after_name;
+        'outer: while cur_line < line_no + 512 {
+            let text = self.scan.masked_line(cur_line);
+            let bytes = text.as_bytes();
+            while cur_col < bytes.len() {
+                match bytes[cur_col] {
+                    b'<' => angle += 1,
+                    b'>' if cur_col > 0 && bytes[cur_col - 1] == b'-' => {} // `->`
+                    b'>' => angle -= 1,
+                    b'{' if angle == 0 => {
+                        body = Some((cur_line, cur_col));
+                        break 'outer;
+                    }
+                    b';' if angle == 0 => return None, // not an item body
+                    _ => {}
+                }
+                cur_col += 1;
+            }
+            if cur_line >= self.scan.line_count() {
+                break;
+            }
+            cur_line += 1;
+            cur_col = 0;
+        }
+        let (body_line, body_col) = body?;
+        let variants = self.parse_variants(body_line, body_col)?;
+        Some(EnumItem {
+            name,
+            line: line_no,
+            is_test: self.scan.is_test_line(line_no),
+            variants: variants
+                .into_iter()
+                .map(|(name, line)| EnumVariant {
+                    docs: self.docs_above(line),
+                    name,
+                    line,
+                })
+                .collect(),
+        })
+    }
+
+    /// Splits the `{ ... }` body starting at (`line`, `col`) into
+    /// variants: identifiers at brace depth 1, each the first token of
+    /// its comma-separated group (payloads in `(..)`/`{..}` and generics
+    /// in `<..>` are skipped whole).
+    fn parse_variants(&self, line: usize, col: usize) -> Option<Vec<(String, usize)>> {
+        let mut depth = 0i32;
+        let mut expect_variant = true;
+        let mut out = Vec::new();
+        let mut cur_line = line;
+        let mut cur_col = col;
+        loop {
+            let text = self.scan.masked_line(cur_line).to_owned();
+            let bytes = text.as_bytes();
+            while cur_col < bytes.len() {
+                let b = bytes[cur_col];
+                match b {
+                    b'{' | b'(' | b'[' => depth += 1,
+                    b'}' | b')' | b']' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            return Some(out);
+                        }
+                    }
+                    b',' if depth == 1 => expect_variant = true,
+                    b'#' if depth == 1 => {} // attribute on the variant
+                    _ if depth == 1 && expect_variant && (b == b'_' || b.is_ascii_alphabetic()) => {
+                        if let Some((name, after)) = ident_at(&text, cur_col) {
+                            // `= 3` discriminants and payloads follow the
+                            // name; the name alone identifies the variant.
+                            out.push((name, cur_line));
+                            expect_variant = false;
+                            cur_col = after;
+                            continue;
+                        }
+                    }
+                    _ => {}
+                }
+                cur_col += 1;
+            }
+            if cur_line >= self.scan.line_count() {
+                return Some(out); // unterminated body: salvage what we have
+            }
+            cur_line += 1;
+            cur_col = 0;
+        }
+    }
+
+    /// The `///` doc lines immediately above `line`, skipping attribute
+    /// lines (`#[...]`), in top-to-bottom order with markers stripped.
+    fn docs_above(&self, line: usize) -> Vec<String> {
+        let mut docs = Vec::new();
+        let mut cur = line;
+        while cur > 1 {
+            cur -= 1;
+            let raw = self.scan.raw_line(cur);
+            let trimmed = raw.trim_start();
+            if let Some(text) = trimmed.strip_prefix("///") {
+                docs.push(text.trim().to_owned());
+            } else if trimmed.starts_with("#[") || trimmed.starts_with("//") {
+                continue;
+            } else {
+                break;
+            }
+        }
+        docs.reverse();
+        docs
+    }
+}
+
+/// The identifier starting at the first non-space byte at or after
+/// `from`, with the column just past it.
+fn ident_after(line: &str, from: usize) -> Option<(String, usize)> {
+    let bytes = line.as_bytes();
+    let mut i = from;
+    while i < bytes.len() && bytes[i] == b' ' {
+        i += 1;
+    }
+    ident_at(line, i)
+}
+
+/// The identifier starting exactly at `at`, with the column past it.
+fn ident_at(line: &str, at: usize) -> Option<(String, usize)> {
+    let bytes = line.as_bytes();
+    let first = *bytes.get(at)?;
+    if !(first == b'_' || first.is_ascii_alphabetic()) {
+        return None;
+    }
+    let mut end = at;
+    while end < bytes.len() && (bytes[end] == b'_' || bytes[end].is_ascii_alphanumeric()) {
+        end += 1;
+    }
+    Some((line[at..end].to_owned(), end))
+}
+
+/// The first argument of a call when it is a plain string literal that
+/// opens on the same raw line at or after byte `from` (only whitespace
+/// may precede the opening quote).
+fn first_literal_arg(raw_line: &str, from: usize) -> Option<String> {
+    let bytes = raw_line.as_bytes();
+    let mut i = from;
+    while i < bytes.len() && bytes[i] == b' ' {
+        i += 1;
+    }
+    if bytes.get(i) != Some(&b'"') {
+        return None;
+    }
+    let start = i + 1;
+    let close = raw_line[start..].find('"')?;
+    Some(raw_line[start..start + close].to_owned())
+}
+
+/// Parses the string-literal elements of a `&[&str]` const named `name`
+/// in the scanned file, as `(value, line)` pairs. Elements are read from
+/// the raw source between the `= &[` after the name token and the
+/// closing `];`. Returns `None` when the file has no such const.
+pub fn str_slice_const(scan: &Scan, name: &str) -> Option<Vec<(String, usize)>> {
+    let mut at: Option<(usize, usize)> = None;
+    for line_no in 1..=scan.line_count() {
+        let line = scan.masked_line(line_no);
+        if let Some(&col) = token_positions(line, name).first() {
+            // Require a declaration (`const NAME`), not a mere mention.
+            if token_positions(line, "const").iter().any(|&c| c < col) {
+                at = Some((line_no, col));
+                break;
+            }
+        }
+    }
+    let (start_line, _) = at?;
+    let mut out = Vec::new();
+    for line_no in start_line..=scan.line_count() {
+        let raw = scan.raw_line(line_no);
+        let masked = scan.masked_line(line_no);
+        for value in raw_string_literals(raw, masked) {
+            out.push((value, line_no));
+        }
+        // Masking blanks string interiors, so a `;` surviving in the
+        // masked line is the declaration's real terminator.
+        if masked.contains(';') {
+            break;
+        }
+    }
+    Some(out)
+}
+
+/// The plain string literals on one raw line, in order. The masked
+/// counterpart locates the first line-comment start (`//` present in the
+/// raw text but blanked in the mask) so quotes inside trailing comments
+/// are not misread as literals.
+fn raw_string_literals(raw: &str, masked: &str) -> Vec<String> {
+    let raw_bytes = raw.as_bytes();
+    let masked_bytes = masked.as_bytes();
+    let mut end = raw_bytes.len().min(masked_bytes.len());
+    for i in 0..end.saturating_sub(1) {
+        if raw_bytes[i] == b'/' && raw_bytes[i + 1] == b'/' && masked_bytes[i] == b' ' {
+            end = i;
+            break;
+        }
+    }
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < end {
+        if raw_bytes[i] == b'"' {
+            let mut j = i + 1;
+            let mut value = String::new();
+            while j < end {
+                match raw_bytes[j] {
+                    b'\\' => j += 2,
+                    b'"' => break,
+                    b => {
+                        value.push(b as char);
+                        j += 1;
+                    }
+                }
+            }
+            out.push(value);
+            i = j + 1;
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model_enums(src: &str) -> Vec<EnumItem> {
+        let scan = Scan::new(src);
+        Model::new(&scan).enums()
+    }
+
+    #[test]
+    fn parses_unit_and_payload_variants_with_docs() {
+        let src = "\
+/// Kinds.
+pub enum Kind {
+    /// Plain. [retry: never]
+    Plain,
+    /// Carrying. [retry: always]
+    Carrying {
+        /// Inner field doc, not a variant doc.
+        inner: u32,
+    },
+    /// Tuple-style.
+    Tuple(String, u64),
+}
+";
+        let enums = model_enums(src);
+        assert_eq!(enums.len(), 1);
+        let item = &enums[0];
+        assert_eq!(item.name, "Kind");
+        let names: Vec<&str> = item.variants.iter().map(|v| v.name.as_str()).collect();
+        assert_eq!(names, ["Plain", "Carrying", "Tuple"]);
+        assert_eq!(item.variants[0].docs, ["Plain. [retry: never]"]);
+        assert_eq!(item.variants[1].docs, ["Carrying. [retry: always]"]);
+    }
+
+    #[test]
+    fn nested_generics_do_not_split_variants() {
+        let src = "\
+pub enum Holder<T: Iterator<Item = Vec<(u8, u16)>>> {
+    Boxed(Box<dyn Fn(u32) -> Vec<T>>),
+    Pair { left: Vec<Vec<T>>, right: [u8; 4] },
+    Unit,
+}
+";
+        let enums = model_enums(src);
+        assert_eq!(enums.len(), 1);
+        let names: Vec<&str> = enums[0].variants.iter().map(|v| v.name.as_str()).collect();
+        assert_eq!(names, ["Boxed", "Pair", "Unit"]);
+    }
+
+    #[test]
+    fn enum_mention_in_macro_body_or_path_is_not_an_item() {
+        let src = "\
+macro_rules! gen {
+    () => {
+        enum Inner { A, B }
+    };
+}
+pub fn f() -> std::mem::Discriminant<u8> { todo_like() }
+";
+        // The macro transcription *does* contain a lexical enum item; the
+        // model reports it (a lexical model cannot expand macros) but the
+        // path mention produces nothing and nothing panics.
+        let enums = model_enums(src);
+        assert!(enums.iter().all(|e| e.name == "Inner"));
+    }
+
+    #[test]
+    fn cfg_test_enums_are_marked() {
+        let src = "\
+pub enum Prod { A }
+
+#[cfg(test)]
+mod tests {
+    enum Fixture { X, Y }
+}
+";
+        let enums = model_enums(src);
+        assert_eq!(enums.len(), 2);
+        assert!(!enums[0].is_test);
+        assert!(enums[1].is_test, "enum inside #[cfg(test)] mod");
+    }
+
+    #[test]
+    fn variant_attributes_and_discriminants_are_tolerated() {
+        let src = "\
+pub enum Wire {
+    #[serde(rename = \"a\")]
+    First = 1,
+    Second = 2,
+}
+";
+        let names: Vec<String> = model_enums(src)[0]
+            .variants
+            .iter()
+            .map(|v| v.name.clone())
+            .collect();
+        assert_eq!(names, ["First", "Second"]);
+    }
+
+    #[test]
+    fn call_sites_extract_same_line_literals_only() {
+        let src = "\
+fn f(c: &C) {
+    c.consult(\"persist.session\", key, 0);
+    c.consult(site_var, key, 1);
+    c.consult(
+        \"next.line\", key, 2);
+}
+";
+        let scan = Scan::new(src);
+        let sites = Model::new(&scan).call_sites("consult");
+        assert_eq!(sites.len(), 3);
+        assert_eq!(sites[0].literal_arg.as_deref(), Some("persist.session"));
+        assert_eq!(sites[1].literal_arg, None);
+        assert_eq!(sites[2].literal_arg, None, "multi-line literal not seen");
+    }
+
+    #[test]
+    fn call_sites_in_strings_are_invisible_and_tests_marked() {
+        let src = "\
+fn f() { let s = \"x.consult(\\\"fake\\\")\"; }
+#[cfg(test)]
+mod tests {
+    fn t(c: &C) { c.consult(\"frame.read\", k, 0); }
+}
+";
+        let scan = Scan::new(src);
+        let sites = Model::new(&scan).call_sites("consult");
+        assert_eq!(sites.len(), 1, "only the real call, not the string");
+        assert!(sites[0].is_test);
+    }
+
+    #[test]
+    fn str_slice_const_reads_elements_and_lines() {
+        let src = "\
+pub fn unrelated() {}
+/// The registry.
+pub const SITES: &[&str] = &[
+    \"persist.session\",
+    \"delta.commit\",
+];
+";
+        let scan = Scan::new(src);
+        let sites = str_slice_const(&scan, "SITES").expect("const found");
+        assert_eq!(
+            sites,
+            vec![
+                ("persist.session".to_owned(), 4),
+                ("delta.commit".to_owned(), 5)
+            ]
+        );
+        assert!(str_slice_const(&scan, "MISSING").is_none());
+    }
+
+    #[test]
+    fn str_slice_const_single_line_and_mentions_do_not_confuse() {
+        let src = "\
+fn uses() { takes(SITES); }
+const SITES: &[&str] = &[\"a\", \"b\"];
+";
+        let scan = Scan::new(src);
+        let sites = str_slice_const(&scan, "SITES").expect("const found");
+        assert_eq!(sites, vec![("a".to_owned(), 2), ("b".to_owned(), 2)]);
+    }
+}

@@ -1,22 +1,37 @@
 //! The rule set: what each rule matches and where it applies.
 //!
-//! | ID | Name          | Default scope                                   |
-//! |----|---------------|-------------------------------------------------|
-//! | D1 | determinism   | cost crates: `core`, `floorplan`, `anneal`, `fleet`, `irgrid`, `serve` |
-//! | D2 | float-reduce  | cost crates, minus the `core/src/num/` allowlist |
-//! | P1 | panic-policy  | every library crate's `src/`                     |
-//! | C1 | cast-audit    | `core/src/fixed.rs` and `core/src/num/`          |
-//! | U1 | unsafe-gate   | every `crates/*/src/lib.rs`                      |
+//! | ID | Name              | Default scope                               |
+//! |----|-------------------|---------------------------------------------|
+//! | D1 | determinism       | cost crates: `core`, `floorplan`, `anneal`, `fleet`, `irgrid`, `serve` |
+//! | D2 | float-reduce      | cost crates, minus the `core/src/num/` allowlist |
+//! | P1 | panic-policy      | every library crate's `src/`                 |
+//! | C1 | cast-audit        | `core/src/fixed.rs` and `core/src/num/`      |
+//! | U1 | unsafe-gate       | every `crates/*/src/lib.rs`                  |
+//! | S1 | atomic-persistence| `serve`/`fleet`/`anneal`/`bench`, minus the blessed writer modules |
+//! | S2 | chaos-registry    | every scanned file (sites vs `REGISTERED_SITES`) |
+//! | S3 | protocol-notes    | the enums named in `ANNOTATED_ENUMS`         |
+//! | S4 | float-compare     | cost crates, minus the `core/src/num/` allowlist |
+//! | S5 | suppression-debt  | every `irgrid-lint: allow` directive         |
 //!
 //! All rules skip `#[cfg(test)]` spans and honor
 //! `// irgrid-lint: allow(<RULE>): <reason>` suppressions; malformed
 //! suppressions are themselves reported as `A1` (never suppressible).
+//!
+//! The pass runs in two phases. [`analyze_file`] produces the
+//! *pre-suppression* finding set for one file — every rule, regardless
+//! of `--rules` selection, because S5's staleness check needs to know
+//! whether *any* rule still fires at an allow's target line.
+//! [`finalize_file`] then applies suppressions, drops unselected rules,
+//! generates S5 stale-allow findings, and counts the surviving (live)
+//! allows as that file's suppression debt. The engine runs the S2
+//! cross-file registry check between the two phases.
 
 use crate::diag::Finding;
+use crate::invariants::{self, ConsultRecord, SiteRegistry};
 use crate::scan::{token_positions, Scan};
 
 /// Every enforceable rule ID, in report order.
-pub const RULE_IDS: &[&str] = &["D1", "D2", "P1", "C1", "U1"];
+pub const RULE_IDS: &[&str] = &["D1", "D2", "P1", "C1", "U1", "S1", "S2", "S3", "S4", "S5"];
 
 /// Which rules run and how strictly.
 #[derive(Debug, Clone, Default)]
@@ -37,6 +52,35 @@ impl RuleConfig {
     fn runs(&self, rule: &str) -> bool {
         self.rules.is_empty() || self.rules.iter().any(|r| r == rule)
     }
+}
+
+/// Everything [`analyze_file`] learned about one file: the
+/// pre-suppression findings plus the raw material the engine's
+/// cross-file (S2) and finalization (S5) phases consume.
+#[derive(Debug, Default)]
+pub struct FileAnalysis {
+    /// Pre-suppression findings from every per-file rule.
+    pub findings: Vec<Finding>,
+    /// Advisory findings used *only* to decide allow liveness: the
+    /// strict-indexing P1 sub-rule when `--strict-indexing` is off, so
+    /// a justified strict-mode allow is not reported as stale by a
+    /// default (non-strict) run.
+    pub advisory: Vec<Finding>,
+    /// Chaos consult sites recorded for the S2 cross-file pass.
+    pub consult_sites: Vec<ConsultRecord>,
+    /// The parsed site registry, when this file is the registry file.
+    pub registry: Option<SiteRegistry>,
+}
+
+/// One file's finalized contribution to the report.
+#[derive(Debug)]
+pub struct FileOutcome {
+    /// Reported findings: suppressions applied, unselected rules
+    /// dropped, S5 stale-allow findings added.
+    pub findings: Vec<Finding>,
+    /// Allows that still suppress a live finding — this file's
+    /// suppression debt.
+    pub live_allows: usize,
 }
 
 /// Crates whose numbers feed the cost function or the congestion map,
@@ -86,11 +130,14 @@ fn has_prefix(path: &str, prefixes: &[&str]) -> bool {
     prefixes.iter().any(|p| path.starts_with(p))
 }
 
-/// Runs every configured rule over one scanned file.
+/// Phase 1: runs every rule's per-file half over one scanned file,
+/// producing pre-suppression findings.
 ///
 /// `rel_path` must be workspace-relative with `/` separators — it decides
-/// which rules apply.
-pub fn check_file(rel_path: &str, scan: &Scan, config: &RuleConfig) -> Vec<Finding> {
+/// which rules apply. Rule *selection* (`--rules`) is deliberately not
+/// applied here: S5 staleness is judged against the full rule set, so a
+/// `--rules P1` run never mislabels a live `allow(D1)` as stale.
+pub fn analyze_file(rel_path: &str, scan: &Scan, config: &RuleConfig) -> FileAnalysis {
     let mut findings = Vec::new();
 
     // Malformed suppression directives are always reported: a broken
@@ -107,22 +154,20 @@ pub fn check_file(rel_path: &str, scan: &Scan, config: &RuleConfig) -> Vec<Findi
 
     let in_scope = |prefixes: &[&str]| config.everywhere || has_prefix(rel_path, prefixes);
 
-    if config.runs("D1") && in_scope(COST_CRATE_PREFIXES) {
+    if in_scope(COST_CRATE_PREFIXES) {
         check_determinism(rel_path, scan, &mut findings);
     }
-    if config.runs("D2")
-        && in_scope(COST_CRATE_PREFIXES)
-        && !has_prefix(rel_path, FLOAT_REDUCE_ALLOWLIST)
-    {
+    if in_scope(COST_CRATE_PREFIXES) && !has_prefix(rel_path, FLOAT_REDUCE_ALLOWLIST) {
         check_float_reductions(rel_path, scan, &mut findings);
+        invariants::check_float_compare(rel_path, scan, &mut findings);
     }
-    if config.runs("P1") && in_scope(LIBRARY_CRATE_PREFIXES) {
+    if in_scope(LIBRARY_CRATE_PREFIXES) {
         check_panic_policy(rel_path, scan, config, &mut findings);
     }
-    if config.runs("C1") && in_scope(CAST_AUDIT_PREFIXES) {
+    if in_scope(CAST_AUDIT_PREFIXES) {
         check_cast_audit(rel_path, scan, &mut findings);
     }
-    if config.runs("U1") && is_crate_root(rel_path) && !scan.has_forbid_unsafe() {
+    if is_crate_root(rel_path) && !scan.has_forbid_unsafe() {
         findings.push(Finding {
             file: rel_path.to_owned(),
             line: 1,
@@ -132,8 +177,126 @@ pub fn check_file(rel_path: &str, scan: &Scan, config: &RuleConfig) -> Vec<Findi
         });
     }
 
-    findings.retain(|f| f.rule == "A1" || !scan.is_allowed(&f.rule, f.line));
-    findings
+    invariants::check_atomic_persistence(rel_path, scan, config.everywhere, &mut findings);
+    let (consult_sites, registry) = invariants::collect_chaos_sites(rel_path, scan, &mut findings);
+    invariants::check_enum_annotations(rel_path, scan, &mut findings);
+
+    // Strict-indexing findings feed allow-liveness even when strict mode
+    // is off, so `allow(P1)` on an indexing site survives default runs.
+    let mut advisory = Vec::new();
+    if !config.strict_indexing && in_scope(LIBRARY_CRATE_PREFIXES) {
+        let strict = RuleConfig {
+            strict_indexing: true,
+            ..config.clone()
+        };
+        let mut strict_findings = Vec::new();
+        check_panic_policy(rel_path, scan, &strict, &mut strict_findings);
+        advisory.extend(
+            strict_findings
+                .into_iter()
+                .filter(|f| f.message.contains("strict mode")),
+        );
+    }
+
+    FileAnalysis {
+        findings,
+        advisory,
+        consult_sites,
+        registry,
+    }
+}
+
+/// Phase 2: turns one file's pre-suppression analysis into reported
+/// findings and a suppression-debt count.
+///
+/// Applies allow suppressions, drops findings from unselected rules
+/// (`A1` always reports), then audits every allow directive: ones whose
+/// rule still fires at their target line are *live* (counted as debt);
+/// the rest are *stale* and reported as S5. Rules in `stale_exempt`
+/// (e.g. `S2` when the cross-file pass could not run) are treated as
+/// live rather than falsely flagged.
+pub fn finalize_file(
+    rel_path: &str,
+    scan: &Scan,
+    config: &RuleConfig,
+    analysis: FileAnalysis,
+    stale_exempt: &[&str],
+) -> FileOutcome {
+    let FileAnalysis {
+        findings: all,
+        advisory,
+        ..
+    } = analysis;
+
+    let fires_at = |rule: &str, line: usize| {
+        all.iter()
+            .chain(advisory.iter())
+            .any(|f| f.rule == rule && f.line == line)
+    };
+
+    let mut reported: Vec<Finding> = all
+        .iter()
+        .filter(|f| f.rule == "A1" || config.runs(&f.rule))
+        .filter(|f| f.rule == "A1" || !scan.is_allowed(&f.rule, f.line))
+        .cloned()
+        .collect();
+
+    // Audit non-S5 allows first; `allow(S5)` directives are judged
+    // against the stale findings this very pass generates.
+    let mut live_allows = 0usize;
+    let mut stale = Vec::new();
+    for allow in scan.allows.iter().filter(|a| a.rule != "S5") {
+        if fires_at(&allow.rule, allow.target_line) || stale_exempt.contains(&allow.rule.as_str()) {
+            live_allows += 1;
+        } else {
+            stale.push(Finding {
+                file: rel_path.to_owned(),
+                line: allow.line,
+                col: 1,
+                rule: "S5".to_owned(),
+                message: format!(
+                    "stale `allow({0})`: {0} no longer fires at its target (line {1}) — \
+                     delete the directive",
+                    allow.rule, allow.target_line
+                ),
+            });
+        }
+    }
+    for allow in scan.allows.iter().filter(|a| a.rule == "S5") {
+        if stale.iter().any(|f| f.line == allow.target_line) {
+            live_allows += 1;
+        } else {
+            stale.push(Finding {
+                file: rel_path.to_owned(),
+                line: allow.line,
+                col: 1,
+                rule: "S5".to_owned(),
+                message: format!(
+                    "stale `allow(S5)`: no stale-allow finding at its target (line {}) — \
+                     delete the directive",
+                    allow.target_line
+                ),
+            });
+        }
+    }
+    if config.runs("S5") {
+        reported.extend(stale.into_iter().filter(|f| !scan.is_allowed("S5", f.line)));
+    }
+
+    FileOutcome {
+        findings: reported,
+        live_allows,
+    }
+}
+
+/// Runs the full per-file pipeline in single-file mode.
+///
+/// Without workspace context the S2 cross-file checks (registry
+/// membership, dead sites) cannot run, so `allow(S2)` directives are
+/// exempt from staleness here.
+pub fn check_file(rel_path: &str, scan: &Scan, config: &RuleConfig) -> Vec<Finding> {
+    let analysis = analyze_file(rel_path, scan, config);
+    finalize_file(rel_path, scan, config, analysis, &["S2"]).findings
 }
 
 /// Whether `rel_path` is a library crate root (`crates/<name>/src/lib.rs`).

@@ -52,6 +52,10 @@ pub struct MalformedDirective {
 /// Result of scanning one source file.
 #[derive(Debug)]
 pub struct Scan {
+    /// The unmodified source bytes. Rules that must see literal or doc
+    /// content (chaos-site strings, enum variant annotations) read this
+    /// after locating code positions in the masked copy.
+    raw: Vec<u8>,
     /// Source with comment/literal interiors blanked to spaces. Same
     /// byte length and newline positions as the input.
     masked: Vec<u8>,
@@ -66,7 +70,7 @@ pub struct Scan {
 }
 
 /// Rule IDs a directive may suppress.
-pub const KNOWN_RULES: &[&str] = &["D1", "D2", "P1", "C1", "U1"];
+pub const KNOWN_RULES: &[&str] = &["D1", "D2", "P1", "C1", "U1", "S1", "S2", "S3", "S4", "S5"];
 
 const DIRECTIVE_PREFIX: &str = "irgrid-lint:";
 
@@ -151,6 +155,7 @@ impl Scan {
         let test_lines = mark_test_lines(&masked, &line_starts);
 
         let mut scan = Scan {
+            raw: bytes.to_vec(),
             masked,
             line_starts,
             test_lines,
@@ -176,6 +181,18 @@ impl Scan {
         // Masking only ever replaces bytes with ASCII spaces, leaving any
         // other multi-byte sequences intact, so the slice stays UTF-8.
         std::str::from_utf8(&self.masked[start..end]).unwrap_or("")
+    }
+
+    /// The *unmasked* text of 1-based `line` (no trailing newline).
+    /// Comment and literal interiors are intact — use this only after
+    /// locating a position in the masked copy, never for matching.
+    pub fn raw_line(&self, line: usize) -> &str {
+        let start = self.line_starts[line - 1];
+        let end = self
+            .line_starts
+            .get(line)
+            .map_or(self.raw.len(), |&next| next.saturating_sub(1));
+        std::str::from_utf8(&self.raw[start..end]).unwrap_or("")
     }
 
     /// Whether 1-based `line` lies inside a `#[cfg(test)]` item.

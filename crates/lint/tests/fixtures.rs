@@ -26,6 +26,11 @@ const PAIRS: &[(&str, &str, usize)] = &[
     ("P1", "crates/route/src/p1.rs", 5),
     ("C1", "crates/core/src/num/c1.rs", 3),
     ("U1", "crates/core/src/lib.rs", 1),
+    ("S1", "crates/serve/src/s1.rs", 4),
+    ("S2", "crates/serve/src/s2.rs", 1),
+    ("S3", "crates/serve/src/protocol.rs", 3),
+    ("S4", "crates/core/src/s4.rs", 3),
+    ("S5", "crates/core/src/s5.rs", 1),
 ];
 
 #[test]
@@ -57,7 +62,9 @@ fn every_rule_passes_its_good_fixture() {
 fn bad_fixture_corpus_fails_as_a_whole_workspace() {
     let report = run(&fixture_root("bad"), &EngineConfig::default()).expect("scan bad corpus");
     assert!(!report.is_clean());
-    for rule in ["D1", "D2", "P1", "C1", "U1", "A1"] {
+    for rule in [
+        "D1", "D2", "P1", "C1", "U1", "A1", "S1", "S2", "S3", "S4", "S5",
+    ] {
         assert!(
             report.findings.iter().any(|f| f.rule == rule),
             "bad corpus should trip {rule}: {:?}",
@@ -102,6 +109,86 @@ fn strict_indexing_flags_the_p1_fixture_index_expression() {
     assert!(strict_hits
         .iter()
         .any(|f| f.rule == "P1" && f.message.contains("indexing")));
+}
+
+#[test]
+fn rules_selection_composes_with_the_new_families() {
+    // A single v2 family alone: only its findings (plus A1, which is
+    // never filtered) survive the selection.
+    let only_s4 = EngineConfig {
+        rules: RuleConfig {
+            rules: vec!["S4".to_owned()],
+            ..RuleConfig::default()
+        },
+        ..EngineConfig::default()
+    };
+    let report = run(&fixture_root("bad"), &only_s4).expect("scan bad corpus");
+    assert!(report.findings.iter().any(|f| f.rule == "S4"));
+    assert!(
+        report
+            .findings
+            .iter()
+            .all(|f| f.rule == "S4" || f.rule == "A1"),
+        "--rules S4 leaked other rules: {:?}",
+        report.findings
+    );
+
+    // A v1 family paired with a v2 family: both report, nothing else.
+    let mixed = EngineConfig {
+        rules: RuleConfig {
+            rules: vec!["P1".to_owned(), "S1".to_owned()],
+            ..RuleConfig::default()
+        },
+        ..EngineConfig::default()
+    };
+    let report = run(&fixture_root("bad"), &mixed).expect("scan bad corpus");
+    assert!(report.findings.iter().any(|f| f.rule == "P1"));
+    assert!(report.findings.iter().any(|f| f.rule == "S1"));
+    assert!(report
+        .findings
+        .iter()
+        .all(|f| ["P1", "S1", "A1"].contains(&f.rule.as_str())));
+
+    // Selection filters *reporting*, not staleness: a `--rules D1` run
+    // still knows the S5 fixture's allow is stale (it just doesn't
+    // report it), so the live-allow ledger stays consistent.
+    let only_d1 = EngineConfig {
+        rules: RuleConfig {
+            rules: vec!["D1".to_owned()],
+            ..RuleConfig::default()
+        },
+        ..EngineConfig::default()
+    };
+    let report = run(&fixture_root("good"), &only_d1).expect("scan good corpus");
+    assert!(
+        report.is_clean(),
+        "good corpus under --rules D1: {:?}",
+        report.findings
+    );
+    assert!(
+        report.debt_total >= 1,
+        "the good corpus's live allows must still be counted as debt"
+    );
+}
+
+#[test]
+fn dead_registry_sites_are_cross_file_findings() {
+    let report = run(&fixture_root("bad"), &EngineConfig::default()).expect("scan bad corpus");
+    assert!(
+        report
+            .findings
+            .iter()
+            .any(|f| f.rule == "S2" && f.message.contains("registry.dead-site")),
+        "registered-but-never-consulted site must be flagged: {:?}",
+        report.findings
+    );
+    assert!(
+        report
+            .findings
+            .iter()
+            .any(|f| f.rule == "S2" && f.message.contains("persist.sessoin")),
+        "typo'd consult site must be flagged against the registry"
+    );
 }
 
 #[test]

@@ -25,16 +25,81 @@ fn workspace_is_lint_clean() {
     );
 }
 
+/// Counts `crates/*/src/**/*.rs` independently of the engine's walker.
+fn count_first_party_sources(root: &Path) -> usize {
+    let mut count = 0;
+    let crates = std::fs::read_dir(root.join("crates")).expect("crates dir");
+    for entry in crates.filter_map(Result::ok) {
+        let src = entry.path().join("src");
+        if !src.is_dir() {
+            continue;
+        }
+        let mut stack = vec![src];
+        while let Some(dir) = stack.pop() {
+            for child in std::fs::read_dir(&dir)
+                .expect("readable dir")
+                .filter_map(Result::ok)
+            {
+                let path = child.path();
+                if path.is_dir() {
+                    stack.push(path);
+                } else if path.extension().is_some_and(|ext| ext == "rs") {
+                    count += 1;
+                }
+            }
+        }
+    }
+    count
+}
+
 #[test]
-fn workspace_scan_covers_every_first_party_crate() {
-    let report = run(&workspace_root(), &EngineConfig::default()).expect("scan workspace");
-    // The workspace has eight first-party crates plus this one; a scan
-    // that suddenly sees far fewer files means the walker broke and the
-    // clean result above is vacuous.
+fn workspace_scan_covers_every_first_party_source_file() {
+    let root = workspace_root();
+    let report = run(&root, &EngineConfig::default()).expect("scan workspace");
+
+    // The engine must scan exactly what an independent walk finds — a
+    // scan that sees fewer files means the walker broke and the clean
+    // result above is vacuous.
+    let expected = count_first_party_sources(&root);
+    assert_eq!(
+        report.scanned_files, expected,
+        "engine scanned {} files but the workspace holds {}",
+        report.scanned_files, expected
+    );
+
+    // The scan surface only ever grows. The checked-in high-water mark
+    // replaces the old hand-bumped `>= N` floor: deleting source files
+    // fails here until the removal is argued for (and the mark lowered
+    // in the same PR), and growth fails until the mark records it.
+    let hwm_path = root.join("crates/lint/tests/scanned_files.hwm");
+    let hwm: usize = std::fs::read_to_string(&hwm_path)
+        .expect("crates/lint/tests/scanned_files.hwm exists")
+        .trim()
+        .parse()
+        .expect("high-water mark is a number");
     assert!(
-        report.scanned_files >= 90,
-        "only {} files scanned",
-        report.scanned_files
+        expected >= hwm,
+        "workspace shrank: {expected} source files scanned, high-water mark is {hwm}"
+    );
+    assert_eq!(
+        expected, hwm,
+        "scan now covers {expected} files; record it in crates/lint/tests/scanned_files.hwm"
+    );
+}
+
+#[test]
+fn suppression_debt_is_within_the_ceiling() {
+    let report = run(&workspace_root(), &EngineConfig::default()).expect("scan workspace");
+    assert!(
+        report.debt_total <= irgrid_lint::DEBT_CEILING,
+        "suppression debt {} exceeds the ceiling {}: fix findings instead of allowing them, \
+         or argue for a higher ceiling in the PR",
+        report.debt_total,
+        irgrid_lint::DEBT_CEILING
+    );
+    assert!(
+        report.debt_total > 0,
+        "zero live allows would mean the liveness audit itself broke"
     );
 }
 

@@ -17,7 +17,8 @@
 //! connections interleave. The injector is therefore lock-free, `Sync`,
 //! and reproducible under any scheduler.
 //!
-//! Sites in the daemon:
+//! Sites in the daemon (production sites live in [`REGISTERED_SITES`];
+//! `frame.read` is consulted only from test harnesses):
 //!
 //! | site              | key        | faults                         |
 //! |-------------------|------------|--------------------------------|
@@ -32,6 +33,16 @@
 
 use rand::{RngCore, SeedableRng};
 use rand_chacha::ChaCha8Rng;
+
+/// The central chaos-site registry: every *production* consult site
+/// string, in consultation-boundary order. `irgrid-lint` rule S2 checks
+/// both directions against this table — a consult site missing here is a
+/// typo that silently disables fault injection, and an entry no
+/// production code consults is a dead site overstating chaos coverage.
+pub const REGISTERED_SITES: &[&str] = &[
+    "persist.session", // SnapshotStore::persist, one consult per session write
+    "delta.commit",    // SessionManager delta commit, consulted before persist
+];
 
 /// Per-site fault probabilities, in parts per million of consultations.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

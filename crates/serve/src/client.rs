@@ -222,7 +222,6 @@ impl Client {
         let mut last_response: Option<Response> = None;
         for attempt in 0..attempts.max(1) {
             if attempt > 0 {
-                // irgrid-lint: allow(D1): bounded retry backoff, connection layer
                 std::thread::sleep(Duration::from_millis(u64::from(attempt.min(20))));
             }
             match self.call_once(request) {

@@ -130,6 +130,8 @@ pub enum RequestOp {
     /// Create the named session (or resume it from its checkpoint if the
     /// daemon restarted). Opening an existing live session with the same
     /// config is idempotent.
+    /// [idempotency: idempotent for an identical config; a different
+    /// config for a live session is `InvalidRequest`]
     Open {
         /// The session's fixed configuration.
         config: SessionConfig,
@@ -137,6 +139,7 @@ pub enum RequestOp {
     /// Create the named *delta* session (or resume it from its
     /// checkpoint): a session-resident incremental evaluator scoring
     /// through the exact Q32 delta pipeline. Idempotent like `Open`.
+    /// [idempotency: idempotent for an identical config, like `Open`]
     OpenDelta {
         /// The session's fixed configuration.
         config: SessionConfig,
@@ -145,6 +148,8 @@ pub enum RequestOp {
     /// delta session this is a read-only fast path (propose + undo per
     /// state); it leaves the committed state and any pending proposal
     /// untouched and consumes no budget.
+    /// [idempotency: deduplicated by request id — a retry replays the
+    /// recorded response and spends no additional budget]
     Evaluate {
         /// The states to score, answered in order.
         states: Vec<FloorplanState>,
@@ -152,27 +157,39 @@ pub enum RequestOp {
     /// Score one state incrementally against the delta session's
     /// committed snapshot and leave it pending for `Commit`. Pure:
     /// nothing is persisted, and a retry recomputes bit-identically.
+    /// [idempotency: naturally idempotent — a retry recomputes the same
+    /// digest and score bit-identically]
     Propose {
         /// The proposed floorplan.
         state: FloorplanState,
     },
     /// Promote the pending proposal with the given state digest to the
     /// committed snapshot. Persist-then-reply; idempotent by request id.
+    /// [idempotency: deduplicated by request id; a replayed commit of an
+    /// already-committed digest reports the committed score]
     Commit {
         /// The digest `Propose` returned for the proposal to commit.
         digest: String,
     },
     /// Discard the pending proposal (if any) and report the committed
     /// score. Pure; always safe to retry.
+    /// [idempotency: naturally idempotent — discarding nothing is a
+    /// no-op]
     Undo,
     /// Report the session's counters without evaluating anything.
+    /// [idempotency: read-only]
     Stat,
     /// Close the session and delete its checkpoint.
+    /// [idempotency: naturally idempotent — closing a closed session is
+    /// `UnknownSession`, which callers treat as success]
     Close,
     /// Liveness probe; needs no session.
+    /// [idempotency: read-only]
     Ping,
     /// Ask the daemon to stop accepting and exit cleanly (used by tests
     /// and the CI smoke harness; needs no session).
+    /// [idempotency: naturally idempotent — a second shutdown finds the
+    /// daemon already stopping]
     Shutdown,
 }
 
@@ -194,36 +211,49 @@ pub struct Request {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum ErrorKind {
     /// The daemon (or one of its bounded queues) is full; retry later.
+    /// [retry: always — transient load, back off and resend unchanged]
     Backpressure,
     /// The session's evaluation budget is exhausted.
+    /// [retry: never — the budget is spent; open a new session]
     BudgetExhausted,
     /// The frame was not a valid request object.
+    /// [retry: never — resending the same bytes fails the same way]
     MalformedFrame,
     /// The frame exceeded [`Limits::max_frame_bytes`].
+    /// [retry: never — the daemon's limits are fixed for its lifetime]
     FrameTooLarge,
     /// The `Evaluate` batch exceeded [`Limits::max_batch`] or a state
     /// exceeded [`Limits::max_segments`].
+    /// [retry: never — split the batch instead]
     BatchTooLarge,
     /// `Evaluate`/`Stat`/`Close` named a session that was never opened.
+    /// [retry: conditional — valid after an `Open` re-establishes it]
     UnknownSession,
     /// The request named an invalid session id or config.
+    /// [retry: never — the request itself is wrong]
     InvalidRequest,
     /// A request id was reused with a different payload digest.
+    /// [retry: never — pick a fresh request id]
     IdempotencyViolation,
     /// The per-request evaluation deadline passed mid-batch.
+    /// [retry: always — no state changed; the retry re-evaluates]
     Timeout,
     /// Persisting the session checkpoint failed; state was rolled back,
     /// retry the request.
+    /// [retry: always — the rollback restored the pre-request state]
     PersistFailed,
     /// The daemon is shutting down (or a chaos kill point fired).
+    /// [retry: conditional — against the restarted daemon, not this one]
     ShuttingDown,
     /// A delta-only op (`Propose`/`Commit`/`Undo`) was sent to a full
     /// session, or `Open`/`OpenDelta` named a session of the other
     /// kind.
+    /// [retry: never — the session kind does not change; fix the caller]
     WrongSessionKind,
     /// `Commit` named a digest with no matching pending proposal (e.g.
     /// the daemon restarted since the propose). Re-send the `Propose`,
     /// then retry the commit.
+    /// [retry: conditional — only after re-proposing the same state]
     NoPendingProposal,
 }
 
