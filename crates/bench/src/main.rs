@@ -16,6 +16,10 @@
 //!   heatmap     Per-cell spatial agreement vs the judging map (extension)
 //!   sweep       Pitch-sensitivity sweep of the IR model (extension)
 //!   validate    Router-validation correlations (extension)
+//!   compare-all Accuracy-vs-speed matrix: every predictor (probabilistic
+//!               + structural) vs PathFinder and staircase routed ground
+//!               truth on MCNC + synthetic circuits (BENCH_models.json;
+//!               --quick: apte + the 1k synthetic only)
 //!   congestion-perf  Retained-evaluator throughput report (BENCH_congestion.json)
 //!   fleet       Multi-replica annealing via irgrid-fleet (BENCH_fleet.json)
 //!   serve-bench Concurrent-client daemon throughput + robustness report
@@ -67,6 +71,7 @@
 
 mod ablation;
 mod common;
+mod compare;
 mod exp1;
 mod exp3;
 mod figure8;
@@ -74,6 +79,7 @@ mod figure9;
 mod fleet;
 mod heatmap;
 mod lint_report;
+mod metrics;
 mod motivation;
 mod perf;
 mod report;
@@ -136,6 +142,7 @@ fn main() {
         "ablation" => ablation::run(single),
         "heatmap" => heatmap::run(single),
         "sweep" => sweep::run(single),
+        "compare-all" => compare::run(&args),
         "fleet" => {
             // Fleet smoke runs default to the smallest circuit unless one
             // was picked explicitly with --circuit.

@@ -18,22 +18,8 @@ use irgrid::netlist::mcnc::McncCircuit;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
-/// Pearson correlation.
-fn pearson(a: &[f64], b: &[f64]) -> f64 {
-    let n = a.len() as f64;
-    let (ma, mb) = (a.iter().sum::<f64>() / n, b.iter().sum::<f64>() / n);
-    let (mut num, mut va, mut vb) = (0.0, 0.0, 0.0);
-    for i in 0..a.len() {
-        num += (a[i] - ma) * (b[i] - mb);
-        va += (a[i] - ma) * (a[i] - ma);
-        vb += (b[i] - mb) * (b[i] - mb);
-    }
-    if va <= 0.0 || vb <= 0.0 {
-        0.0
-    } else {
-        num / (va.sqrt() * vb.sqrt())
-    }
-}
+use crate::common::die;
+use crate::metrics;
 
 pub fn run(bench: McncCircuit) {
     let circuit = bench.circuit();
@@ -89,7 +75,8 @@ pub fn run(bench: McncCircuit) {
             map.ir_cell_count(),
             map.cost(),
             ms,
-            pearson(&scores, &judged)
+            metrics::pearson(&scores, &judged)
+                .unwrap_or_else(|e| die(&format!("sweep correlation: {e}")))
         );
     }
     println!("\n(the paper's 30um sits where the correlation has saturated while the");

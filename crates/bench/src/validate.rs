@@ -18,22 +18,13 @@ use irgrid::route::{GlobalRouter, RouterConfig};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
-/// Pearson correlation.
+use crate::common::die;
+use crate::metrics;
+
+/// Pearson, with input defects fatal: validate builds both series
+/// itself, so a defect is a bug, not user error.
 fn pearson(a: &[f64], b: &[f64]) -> f64 {
-    let n = a.len() as f64;
-    let (ma, mb) = (a.iter().sum::<f64>() / n, b.iter().sum::<f64>() / n);
-    let mut num = 0.0;
-    let (mut va, mut vb) = (0.0, 0.0);
-    for i in 0..a.len() {
-        let (xa, xb) = (a[i] - ma, b[i] - mb);
-        num += xa * xb;
-        va += xa * xa;
-        vb += xb * xb;
-    }
-    if va <= 0.0 || vb <= 0.0 {
-        return 0.0;
-    }
-    num / (va.sqrt() * vb.sqrt())
+    metrics::pearson(a, b).unwrap_or_else(|e| die(&format!("validate correlation: {e}")))
 }
 
 pub fn run(bench: McncCircuit, floorplans: usize) {

@@ -7,7 +7,12 @@
 //! it to show that the Irregular-Grid model reproduces the fixed-grid
 //! congestion *picture*, not just its top-10 % summary.
 
-use crate::{FixedCongestionMap, IrCongestionMap, LzCongestionMap};
+use irgrid_geom::{Point, Rect};
+
+use crate::{
+    FixedCongestionMap, FixedGridModel, IrCongestionMap, IrregularGridModel, LzCongestionMap,
+    LzShapeModel, SpatialCongestion,
+};
 
 /// A congestion map rasterized onto its unit grid: `cols × rows` values
 /// in row-major order, one per pitch² cell.
@@ -127,6 +132,24 @@ impl Raster {
             }
         }
         Raster { cols, rows, values }
+    }
+}
+
+impl SpatialCongestion for FixedGridModel {
+    fn raster(&self, chip: &Rect, segments: &[(Point, Point)]) -> Raster {
+        Raster::from_fixed(&self.congestion_map(chip, segments))
+    }
+}
+
+impl SpatialCongestion for LzShapeModel {
+    fn raster(&self, chip: &Rect, segments: &[(Point, Point)]) -> Raster {
+        Raster::from_lz(&self.congestion_map(chip, segments))
+    }
+}
+
+impl SpatialCongestion for IrregularGridModel {
+    fn raster(&self, chip: &Rect, segments: &[(Point, Point)]) -> Raster {
+        Raster::from_ir(&self.congestion_map(chip, segments))
     }
 }
 

@@ -74,6 +74,23 @@ pub trait CongestionModel {
     fn name(&self) -> String;
 }
 
+/// A congestion model whose estimate is a spatial *picture*, not just a
+/// scalar score: the per-cell values on the chip's unit grid at the
+/// model's pitch.
+///
+/// This is the contract the `repro compare-all` harness evaluates
+/// against routed ground truth — per-cell correlation, scale-free MAE
+/// and hotspot overlap all need the estimate resolved onto the same
+/// grid the router reports usage on. Kept object-safe so harnesses can
+/// hold a heterogeneous `Vec<Box<dyn SpatialCongestion>>` spanning the
+/// probabilistic models and the structural predictors (`irgrid-models`).
+pub trait SpatialCongestion: CongestionModel {
+    /// The model's per-cell congestion estimate rasterized onto the
+    /// unit grid of `chip` at the model's pitch, row-major. The raster
+    /// dimensions equal `UnitGrid::new(chip, pitch)`'s `cols × rows`.
+    fn raster(&self, chip: &Rect, segments: &[(Point, Point)]) -> analysis::Raster;
+}
+
 /// A retained evaluation session minted by [`RetainedCongestion`]:
 /// mutable scratch state reused across evaluations so a hot loop (the
 /// annealer's cost function) does not pay per-call setup.

@@ -256,20 +256,7 @@ impl PolishExpr {
     /// M3: swap a random adjacent operand/operator pair, keeping the
     /// expression normalized and ballot-valid.
     fn move_swap_operand_operator<R: Rng>(&mut self, rng: &mut R) -> bool {
-        // Candidate positions i where elements[i], elements[i+1] are an
-        // operand/operator pair (either order) and the swap stays valid.
-        let mut candidates: Vec<usize> = Vec::new();
-        for i in 0..self.elements.len() - 1 {
-            let pair = (&self.elements[i], &self.elements[i + 1]);
-            let mixed = matches!(
-                pair,
-                (Element::Operand(_), Element::Operator(_))
-                    | (Element::Operator(_), Element::Operand(_))
-            );
-            if mixed && self.swap_is_valid(i) {
-                candidates.push(i);
-            }
-        }
+        let candidates = self.swap_operand_operator_candidates();
         if candidates.is_empty() {
             return false;
         }
@@ -278,10 +265,58 @@ impl PolishExpr {
         true
     }
 
+    /// Candidate positions `i` where `elements[i]`, `elements[i+1]` are
+    /// an operand/operator pair (either order) and swapping them keeps
+    /// the expression valid.
+    ///
+    /// Validity is decided locally in O(1) per pair: a swap moves one
+    /// operator across exactly one prefix boundary (so balloting can
+    /// only change there) and can only create an equal-operator
+    /// adjacency against `elements[i-1]` or `elements[i+2]`. Everything
+    /// else — totals, parity, module uniqueness, every other prefix — is
+    /// untouched. The old clone-and-revalidate probe made M3 `O(n²)` and
+    /// unusable past ~10k modules; the candidate set (and therefore the
+    /// RNG stream and every downstream result) is identical, which
+    /// `swap_candidates_match_brute_force` pins against the oracle.
+    fn swap_operand_operator_candidates(&self) -> Vec<usize> {
+        let n = self.elements.len();
+        let mut candidates: Vec<usize> = Vec::new();
+        // Counts over elements[..=i], maintained incrementally.
+        let mut operands = 0usize;
+        let mut operators = 0usize;
+        for i in 0..n - 1 {
+            match self.elements[i] {
+                Element::Operand(_) => operands += 1,
+                Element::Operator(_) => operators += 1,
+            }
+            let ok = match (self.elements[i], self.elements[i + 1]) {
+                (Element::Operand(_), Element::Operator(cut)) => {
+                    // The operator moves left to position i: its prefix
+                    // loses the operand it hopped over, so the balloting
+                    // margin shrinks by two; the new left neighbour must
+                    // not be an equal operator.
+                    operands - 1 > operators + 1
+                        && (i == 0 || self.elements[i - 1] != Element::Operator(cut))
+                }
+                (Element::Operator(cut), Element::Operand(_)) => {
+                    // The operator moves right: its prefix gains an
+                    // operand, so balloting only improves; only the new
+                    // right neighbour can break normalization.
+                    i + 2 >= n || self.elements[i + 2] != Element::Operator(cut)
+                }
+                _ => false,
+            };
+            if ok {
+                candidates.push(i);
+            }
+        }
+        candidates
+    }
+
     /// Whether swapping positions `i` and `i + 1` keeps the expression
-    /// valid. `O(n)` — expressions are short (≤ 2·49 − 1 for the largest
-    /// benchmark), so re-validation is cheaper than maintaining
-    /// incremental counters and much harder to get wrong.
+    /// valid, by brute force: clone, swap, full re-validation. Kept as
+    /// the reference oracle for the O(1) local checks above.
+    #[cfg(test)]
     fn swap_is_valid(&self, i: usize) -> bool {
         let mut probe = self.clone();
         probe.elements.swap(i, i + 1);
@@ -307,6 +342,34 @@ mod tests {
     use super::*;
     use rand::SeedableRng;
     use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn swap_candidates_match_brute_force() {
+        // The O(1) local validity checks must admit exactly the swaps the
+        // clone-and-revalidate oracle admits — same candidate list, same
+        // order — on every expression a random walk can reach.
+        let mut rng = ChaCha8Rng::seed_from_u64(0x5aa9);
+        for &n in &[2usize, 3, 5, 8, 13, 30, 49] {
+            let mut expr = PolishExpr::initial(n);
+            for step in 0..200 {
+                let brute: Vec<usize> = (0..expr.elements.len() - 1)
+                    .filter(|&i| {
+                        matches!(
+                            (&expr.elements[i], &expr.elements[i + 1]),
+                            (Element::Operand(_), Element::Operator(_))
+                                | (Element::Operator(_), Element::Operand(_))
+                        ) && expr.swap_is_valid(i)
+                    })
+                    .collect();
+                assert_eq!(
+                    expr.swap_operand_operator_candidates(),
+                    brute,
+                    "n = {n}, step = {step}, expr = {expr}"
+                );
+                expr.perturb_random(&mut rng);
+            }
+        }
+    }
 
     #[test]
     fn initial_is_valid_for_all_sizes() {

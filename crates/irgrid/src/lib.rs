@@ -13,6 +13,8 @@
 //!   ([`irgrid_fleet`]);
 //! * [`congestion`] — the fixed-grid baseline and the Irregular-Grid
 //!   model ([`irgrid_core`]);
+//! * [`models`] — structural congestion predictors: pin density, net
+//!   demand, Rent's rule, span demand ([`irgrid_models`]);
 //! * [`serve`] — the fault-tolerant congestion-evaluation daemon
 //!   ([`irgrid_serve`]);
 //! * [`floorplanner`] — the composition: a routability-driven annealing
@@ -99,6 +101,15 @@ pub mod fleet {
 /// Congestion models (re-export of [`irgrid_core`]).
 pub mod congestion {
     pub use irgrid_core::*;
+}
+
+/// Structural congestion predictors — pin density, standard/weighted
+/// net demand, Rent's-rule demand, span demand (re-export of
+/// [`irgrid_models`]): the cheap baselines the `repro compare-all`
+/// harness races against the probabilistic models and routed ground
+/// truth.
+pub mod models {
+    pub use irgrid_models::*;
 }
 
 /// The capacitated global router used as validation ground truth

@@ -2,7 +2,7 @@
 //!
 //! | ID | Name              | Default scope                               |
 //! |----|-------------------|---------------------------------------------|
-//! | D1 | determinism       | cost crates: `core`, `floorplan`, `anneal`, `fleet`, `irgrid`, `serve` |
+//! | D1 | determinism       | cost crates: `core`, `floorplan`, `anneal`, `fleet`, `irgrid`, `models`, `serve` |
 //! | D2 | float-reduce      | cost crates, minus the `core/src/num/` allowlist |
 //! | P1 | panic-policy      | every library crate's `src/`                 |
 //! | C1 | cast-audit        | `core/src/fixed.rs` and `core/src/num/`      |
@@ -92,6 +92,7 @@ const COST_CRATE_PREFIXES: &[&str] = &[
     "crates/anneal/src/",
     "crates/fleet/src/",
     "crates/irgrid/src/",
+    "crates/models/src/",
     "crates/serve/src/",
 ];
 
@@ -108,6 +109,7 @@ const LIBRARY_CRATE_PREFIXES: &[&str] = &[
     "crates/fleet/src/",
     "crates/irgrid/src/",
     "crates/lint/src/",
+    "crates/models/src/",
     "crates/serve/src/",
 ];
 

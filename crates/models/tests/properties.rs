@@ -1,0 +1,123 @@
+//! Property-based tests for the structural predictors.
+//!
+//! Every predictor must be a pure function of the geometry: repeated
+//! evaluation is bit-identical, and rigidly translating the whole
+//! netlist by a pitch multiple relocates the demand map without
+//! changing its values or the scalar cost.
+
+use irgrid_core::SpatialCongestion;
+use irgrid_geom::{Point, Rect, Um};
+use irgrid_models::{
+    NetDemandModel, PinDensityModel, RentDemandModel, SpanDemandModel, WeightedNetDemandModel,
+};
+use proptest::prelude::*;
+
+const PITCH: i64 = 30;
+
+fn models() -> Vec<Box<dyn SpatialCongestion>> {
+    vec![
+        Box::new(PinDensityModel::new(Um(PITCH))),
+        Box::new(NetDemandModel::new(Um(PITCH))),
+        Box::new(WeightedNetDemandModel::new(Um(PITCH))),
+        Box::new(RentDemandModel::new(Um(PITCH))),
+        Box::new(SpanDemandModel::new(Um(PITCH))),
+    ]
+}
+
+fn chip() -> Rect {
+    Rect::from_origin_size(Point::ORIGIN, Um(600), Um(600))
+}
+
+/// Segments confined to the lower-left 300 µm quarter, leaving room to
+/// translate by up to ten pitches in each axis.
+fn arb_segments() -> impl Strategy<Value = Vec<(Point, Point)>> {
+    prop::collection::vec(
+        ((0i64..300, 0i64..300), (0i64..300, 0i64..300)).prop_map(|((ax, ay), (bx, by))| {
+            (Point::new(Um(ax), Um(ay)), Point::new(Um(bx), Um(by)))
+        }),
+        1..12,
+    )
+}
+
+fn translate(segments: &[(Point, Point)], dx: i64, dy: i64) -> Vec<(Point, Point)> {
+    segments
+        .iter()
+        .map(|&(a, b)| {
+            (
+                Point::new(a.x + Um(dx), a.y + Um(dy)),
+                Point::new(b.x + Um(dx), b.y + Um(dy)),
+            )
+        })
+        .collect()
+}
+
+fn sorted(mut values: Vec<f64>) -> Vec<f64> {
+    values.sort_by(f64::total_cmp);
+    values
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn predictors_are_deterministic(segments in arb_segments()) {
+        for model in models() {
+            let first = model.evaluate(&chip(), &segments);
+            let second = model.evaluate(&chip(), &segments);
+            prop_assert_eq!(
+                first.to_bits(),
+                second.to_bits(),
+                "{} not deterministic",
+                model.name()
+            );
+            let ra = model.raster(&chip(), &segments);
+            let rb = model.raster(&chip(), &segments);
+            prop_assert_eq!(ra.values(), rb.values());
+        }
+    }
+
+    #[test]
+    fn predictors_are_translation_invariant(
+        segments in arb_segments(),
+        dx in 0i64..=10,
+        dy in 0i64..=10,
+    ) {
+        let shifted = translate(&segments, dx * PITCH, dy * PITCH);
+        for model in models() {
+            let base = model.evaluate(&chip(), &segments);
+            let moved = model.evaluate(&chip(), &shifted);
+            prop_assert_eq!(
+                base.to_bits(),
+                moved.to_bits(),
+                "{} cost changed under translation",
+                model.name()
+            );
+            let base_cells = sorted(model.raster(&chip(), &segments).values().to_vec());
+            let moved_cells = sorted(model.raster(&chip(), &shifted).values().to_vec());
+            prop_assert_eq!(
+                base_cells,
+                moved_cells,
+                "{} demand map changed under translation",
+                model.name()
+            );
+        }
+    }
+
+    #[test]
+    fn rasters_agree_with_scalar_cost(segments in arb_segments()) {
+        // The scalar cost is the top-10 % mean of the raster the model
+        // reports — the two views must not drift apart.
+        for model in models() {
+            let cost = model.evaluate(&chip(), &segments);
+            let raster = model.raster(&chip(), &segments);
+            let rederived =
+                irgrid_core::score::top_fraction_mean(raster.values(), 0.1);
+            prop_assert_eq!(
+                cost.to_bits(),
+                rederived.to_bits(),
+                "{} scalar cost disagrees with its raster",
+                model.name()
+            );
+        }
+    }
+}

@@ -181,6 +181,34 @@ impl RoutingGrid {
             .unwrap_or(0)
     }
 
+    /// The routed usage as a per-cell raster: each edge's usage is
+    /// credited to both cells it connects, so a cell's value is the
+    /// total routing demand through its four walls. This is the
+    /// router-side map that congestion-model rasters (built at the same
+    /// pitch) are compared against — absolute scale differs from the
+    /// models' units, which is why the comparison metrics are
+    /// scale-free.
+    #[must_use]
+    pub fn cell_usage_raster(&self) -> irgrid_core::analysis::Raster {
+        let (cols, rows) = (self.grid.cols(), self.grid.rows());
+        let mut values = vec![0.0f64; (cols * rows) as usize];
+        for y in 0..rows {
+            for x in 0..cols - 1 {
+                let u = f64::from(self.h_usage[self.h_index(x, y)]);
+                values[(y * cols + x) as usize] += u;
+                values[(y * cols + x + 1) as usize] += u;
+            }
+        }
+        for y in 0..rows - 1 {
+            for x in 0..cols {
+                let u = f64::from(self.v_usage[self.v_index(x, y)]);
+                values[(y * cols + x) as usize] += u;
+                values[((y + 1) * cols + x) as usize] += u;
+            }
+        }
+        irgrid_core::analysis::Raster::new(cols as usize, rows as usize, values)
+    }
+
     /// Mean usage of the top `fraction` most used edges — the router-side
     /// analogue of the paper's top-10 % congestion score, used to
     /// correlate estimates with routed reality.

@@ -14,6 +14,14 @@
 //! off their bounding boxes, which is exactly the behaviour probabilistic
 //! models cannot capture and the reason validation matters.
 //!
+//! A second, much cheaper substrate lives in [`staircase`]: a monotone
+//! staircase early global router in the STAIRoute tradition, which
+//! routes every net through the gates of a module-avoiding staircase
+//! cut tree in a single deterministic pass. It trades negotiation
+//! fidelity for orders-of-magnitude speed, and its usage map is
+//! bit-identical across runs and independent of net order — useful as
+//! a fast second opinion when PathFinder is too slow.
+//!
 //! # Examples
 //!
 //! ```
@@ -40,6 +48,8 @@
 
 mod grid;
 mod router;
+pub mod staircase;
 
 pub use grid::{EdgeUsage, RoutingGrid};
 pub use router::{GlobalRouter, RouteResult, RouterConfig};
+pub use staircase::{StaircaseConfig, StaircaseResult, StaircaseRouter, StaircaseUsage};

@@ -1,0 +1,750 @@
+//! A monotone-staircase early global router (after STAIRoute, Kar et
+//! al.).
+//!
+//! PathFinder negotiation ([`crate::GlobalRouter`]) is the high-fidelity
+//! ground truth, but it pays A* over the whole grid per net per
+//! iteration. Early routability assessment wants something orders of
+//! magnitude cheaper that still reacts to the *floorplan structure*:
+//! STAIRoute's observation is that a placed floorplan induces a
+//! hierarchy of **monotone staircase cuts** — staircase-shaped
+//! bipartitions that thread the channels between blocks — and that nets
+//! routed through the staircase gates of that hierarchy give a faithful
+//! early congestion picture at a fraction of the cost.
+//!
+//! This router reproduces that scheme on the unit grid:
+//!
+//! 1. **Cut tree.** The chip's bins are bipartitioned recursively by
+//!    monotone staircase paths (alternating falling `↘` and rising `↗`
+//!    by depth). Each candidate path is found by dynamic programming
+//!    over the lattice of bin corners, minimizing the number of placed
+//!    modules the path slices through — so cuts follow channels.
+//! 2. **Gates.** Every boundary edge of a cut that separates two bins
+//!    of the region is a *gate*: a legal crossing point for nets the
+//!    cut separates.
+//! 3. **Routing.** A net whose terminals fall in different leaf regions
+//!    crosses exactly one cut it cannot avoid — the one at the lowest
+//!    common ancestor of its leaves. It picks the gate minimizing its
+//!    Manhattan detour and routes terminal → gate → terminal with
+//!    monotone L-walks, depositing one unit of usage per bin entered.
+//!
+//! The result is a per-bin usage map. Everything is integer
+//! arithmetic: the map is **bit-identical** for the same
+//! `(chip, modules, segments, seed)` and — because each net's route
+//! depends only on the static cut tree, never on other nets — entirely
+//! independent of the order nets are presented in.
+
+use irgrid_core::analysis::Raster;
+use irgrid_core::UnitGrid;
+use irgrid_geom::{Point, Rect, Um};
+
+/// Staircase router tuning parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StaircaseConfig {
+    /// Bin pitch of the usage grid.
+    pub pitch: Um,
+    /// Tie-break seed: equal-cost staircase cuts are disambiguated by
+    /// this seed, deterministically. Same placement + same seed =
+    /// bit-identical usage map.
+    pub seed: u64,
+    /// Regions of at most this many bins become cut-tree leaves.
+    pub leaf_cells: usize,
+}
+
+impl Default for StaircaseConfig {
+    fn default() -> StaircaseConfig {
+        StaircaseConfig {
+            pitch: Um(30),
+            seed: 0,
+            leaf_cells: 8,
+        }
+    }
+}
+
+impl StaircaseConfig {
+    fn validate(&self) {
+        assert!(
+            self.pitch > Um::ZERO,
+            "pitch must be positive, got {}",
+            self.pitch
+        );
+        assert!(self.leaf_cells > 0, "leaf size must be positive");
+    }
+}
+
+/// The outcome of staircase-routing one floorplan.
+#[derive(Debug, Clone)]
+pub struct StaircaseResult {
+    /// Per-bin crossing counts.
+    pub usage: StaircaseUsage,
+    /// Nets routed (same-bin nets are skipped, as in the PathFinder
+    /// router).
+    pub routed_nets: usize,
+    /// Total bins entered over all routes — the wirelength analogue.
+    pub routed_bins: u64,
+    /// Internal nodes of the staircase cut tree.
+    pub cut_count: usize,
+    /// Leaf regions of the staircase cut tree.
+    pub leaf_count: usize,
+}
+
+/// The per-bin usage map produced by the staircase router.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StaircaseUsage {
+    grid: UnitGrid,
+    counts: Vec<u64>,
+}
+
+impl StaircaseUsage {
+    /// The underlying bin grid.
+    #[must_use]
+    pub fn grid(&self) -> &UnitGrid {
+        &self.grid
+    }
+
+    /// Raw per-bin crossing counts, row-major.
+    #[must_use]
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// The maximum bin usage anywhere.
+    #[must_use]
+    pub fn peak(&self) -> u64 {
+        self.counts.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Mean usage of the top `fraction` most used bins — comparable to
+    /// [`crate::RoutingGrid::top_fraction_usage`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fraction` is not in `(0, 1]`.
+    #[must_use]
+    pub fn top_fraction_usage(&self, fraction: f64) -> f64 {
+        let values: Vec<f64> = self.counts.iter().map(|&u| u as f64).collect();
+        irgrid_core::score::top_fraction_mean(&values, fraction)
+    }
+
+    /// The usage map as an `f64` raster for spatial comparison against
+    /// model estimates.
+    #[must_use]
+    pub fn raster(&self) -> Raster {
+        Raster::new(
+            self.grid.cols() as usize,
+            self.grid.rows() as usize,
+            self.counts.iter().map(|&u| u as f64).collect(),
+        )
+    }
+}
+
+/// The monotone-staircase early global router.
+///
+/// See the [module docs](self) for the algorithm.
+///
+/// # Examples
+///
+/// ```
+/// use irgrid_geom::{Point, Rect, Um};
+/// use irgrid_route::{StaircaseConfig, StaircaseRouter};
+///
+/// let chip = Rect::from_origin_size(Point::ORIGIN, Um(300), Um(300));
+/// let modules = vec![
+///     Rect::from_origin_size(Point::new(Um(0), Um(0)), Um(150), Um(300)),
+///     Rect::from_origin_size(Point::new(Um(150), Um(0)), Um(150), Um(300)),
+/// ];
+/// let segments = vec![(Point::new(Um(15), Um(15)), Point::new(Um(285), Um(285)))];
+/// let router = StaircaseRouter::new(StaircaseConfig::default());
+/// let result = router.route(&chip, &modules, &segments);
+/// assert_eq!(result.routed_nets, 1);
+/// assert!(result.routed_bins >= 19, "a 10x10 bin diagonal takes 19 bins");
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct StaircaseRouter {
+    config: StaircaseConfig,
+}
+
+/// A bin coordinate (column, row).
+type Bin = (i64, i64);
+
+impl StaircaseRouter {
+    /// Creates a router.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (see [`StaircaseConfig`]
+    /// fields).
+    #[must_use]
+    pub fn new(config: StaircaseConfig) -> StaircaseRouter {
+        config.validate();
+        StaircaseRouter { config }
+    }
+
+    /// The configuration in use.
+    #[must_use]
+    pub fn config(&self) -> &StaircaseConfig {
+        &self.config
+    }
+
+    /// Routes all 2-pin segments over the placed `modules`.
+    ///
+    /// `modules` are the placed block rectangles (the staircase cuts
+    /// avoid slicing them); `segments` the MST-decomposed 2-pin nets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chip` is degenerate or not at the origin.
+    #[must_use]
+    pub fn route(
+        &self,
+        chip: &Rect,
+        modules: &[Rect],
+        segments: &[(Point, Point)],
+    ) -> StaircaseResult {
+        let grid = UnitGrid::new(chip, self.config.pitch);
+        let tree = CutTree::build(&grid, modules, self.config.seed, self.config.leaf_cells);
+
+        let mut counts = vec![0u64; grid.cell_count()];
+        let cols = grid.cols();
+        let mut routed_nets = 0usize;
+        let mut routed_bins = 0u64;
+        for &(a, b) in segments {
+            let ca = grid.cell_of(a);
+            let cb = grid.cell_of(b);
+            if ca == cb {
+                continue;
+            }
+            routed_nets += 1;
+            let via = tree.crossing(&grid, a, b);
+            let mut deposit = |bin: Bin| {
+                counts[(bin.1 * cols + bin.0) as usize] += 1;
+                routed_bins += 1;
+            };
+            match via {
+                Some(gate) => {
+                    let cg = grid.cell_of(gate);
+                    walk_l(ca, cg, true, &mut deposit);
+                    if cg != cb {
+                        walk_l_skip_first(cg, cb, &mut deposit);
+                    }
+                }
+                None => walk_l(ca, cb, true, &mut deposit),
+            }
+        }
+
+        StaircaseResult {
+            usage: StaircaseUsage { grid, counts },
+            routed_nets,
+            routed_bins,
+            cut_count: tree.cut_count,
+            leaf_count: tree.leaf_count,
+        }
+    }
+}
+
+/// Walks the monotone L-path (x-first, then y) from `a` to `b`,
+/// calling `deposit` for every bin entered; `include_start` controls
+/// whether `a` itself is deposited.
+fn walk_l(a: Bin, b: Bin, include_start: bool, deposit: &mut impl FnMut(Bin)) {
+    if include_start {
+        deposit(a);
+    }
+    let step_x = (b.0 - a.0).signum();
+    let mut x = a.0;
+    while x != b.0 {
+        x += step_x;
+        deposit((x, a.1));
+    }
+    let step_y = (b.1 - a.1).signum();
+    let mut y = a.1;
+    while y != b.1 {
+        y += step_y;
+        deposit((b.0, y));
+    }
+}
+
+/// [`walk_l`] without re-depositing the junction bin.
+fn walk_l_skip_first(a: Bin, b: Bin, deposit: &mut impl FnMut(Bin)) {
+    walk_l(a, b, false, deposit);
+}
+
+/// The recursive monotone-staircase bipartition of the bin grid.
+#[derive(Debug)]
+struct CutTree {
+    nodes: Vec<Node>,
+    /// Leaf node id of every bin, row-major.
+    leaf_of: Vec<u32>,
+    cut_count: usize,
+    leaf_count: usize,
+}
+
+#[derive(Debug)]
+struct Node {
+    parent: Option<u32>,
+    depth: u32,
+    /// Gate midpoints of this node's cut, in path order. Empty for
+    /// leaves.
+    gates: Vec<Point>,
+}
+
+/// Module-slicing costs of every bin-boundary edge.
+#[derive(Debug)]
+struct CutCosts {
+    cols: i64,
+    rows: i64,
+    /// `h[y * cols + x]`: modules sliced by the horizontal boundary
+    /// segment at lattice line `y` (0..=rows) over column `x`.
+    h: Vec<u32>,
+    /// `v[x * rows + y]`: modules sliced by the vertical boundary
+    /// segment at lattice line `x` (0..=cols) over row `y`.
+    v: Vec<u32>,
+}
+
+impl CutCosts {
+    fn build(grid: &UnitGrid, modules: &[Rect]) -> CutCosts {
+        let (cols, rows) = (grid.cols(), grid.rows());
+        let p = grid.pitch().0;
+        let mut h = vec![0u32; ((rows + 1) * cols) as usize];
+        let mut v = vec![0u32; ((cols + 1) * rows) as usize];
+        for m in modules {
+            // Columns the module's interior overlaps.
+            let x_lo = (m.ll().x.0.div_euclid(p)).max(0);
+            let x_hi = ((m.ur().x.0 + p - 1).div_euclid(p)).min(cols);
+            // Horizontal lattice lines strictly inside the module.
+            let y_line_lo = (m.ll().y.0.div_euclid(p) + 1).max(0);
+            let y_line_hi = ((m.ur().y.0 - 1).div_euclid(p)).min(rows);
+            for y in y_line_lo..=y_line_hi {
+                for x in x_lo..x_hi.min(cols) {
+                    h[(y * cols + x) as usize] += 1;
+                }
+            }
+            // Rows the module's interior overlaps.
+            let y_lo = (m.ll().y.0.div_euclid(p)).max(0);
+            let y_hi = ((m.ur().y.0 + p - 1).div_euclid(p)).min(rows);
+            // Vertical lattice lines strictly inside the module.
+            let x_line_lo = (m.ll().x.0.div_euclid(p) + 1).max(0);
+            let x_line_hi = ((m.ur().x.0 - 1).div_euclid(p)).min(cols);
+            for x in x_line_lo..=x_line_hi {
+                for y in y_lo..y_hi.min(rows) {
+                    v[(x * rows + y) as usize] += 1;
+                }
+            }
+        }
+        CutCosts { cols, rows, h, v }
+    }
+
+    fn h_cost(&self, x: i64, y: i64) -> u64 {
+        debug_assert!(x >= 0 && x < self.cols && y >= 0 && y <= self.rows);
+        u64::from(self.h[(y * self.cols + x) as usize])
+    }
+
+    fn v_cost(&self, x: i64, y: i64) -> u64 {
+        debug_assert!(x >= 0 && x <= self.cols && y >= 0 && y < self.rows);
+        u64::from(self.v[(x * self.rows + y) as usize])
+    }
+}
+
+/// SplitMix64: the deterministic tie-break bit source.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl CutTree {
+    fn build(grid: &UnitGrid, modules: &[Rect], seed: u64, leaf_cells: usize) -> CutTree {
+        let costs = CutCosts::build(grid, modules);
+        let cols = grid.cols();
+        let mut nodes = vec![Node {
+            parent: None,
+            depth: 0,
+            gates: Vec::new(),
+        }];
+        let mut leaf_of = vec![0u32; grid.cell_count()];
+        let all_bins: Vec<Bin> = (0..grid.rows())
+            .flat_map(|y| (0..cols).map(move |x| (x, y)))
+            .collect();
+        let mut cut_count = 0usize;
+        let mut leaf_count = 0usize;
+
+        let mut stack: Vec<(Vec<Bin>, u32)> = vec![(all_bins, 0)];
+        while let Some((bins, node_id)) = stack.pop() {
+            let depth = nodes[node_id as usize].depth;
+            let split = if bins.len() <= leaf_cells {
+                None
+            } else {
+                split_region(
+                    &bins,
+                    &costs,
+                    grid.pitch().0,
+                    depth % 2 == 0,
+                    splitmix64(seed ^ u64::from(node_id)),
+                )
+            };
+            match split {
+                Some((upper, lower, gates)) => {
+                    cut_count += 1;
+                    nodes[node_id as usize].gates = gates;
+                    let upper_id = nodes.len() as u32;
+                    nodes.push(Node {
+                        parent: Some(node_id),
+                        depth: depth + 1,
+                        gates: Vec::new(),
+                    });
+                    let lower_id = nodes.len() as u32;
+                    nodes.push(Node {
+                        parent: Some(node_id),
+                        depth: depth + 1,
+                        gates: Vec::new(),
+                    });
+                    stack.push((upper, upper_id));
+                    stack.push((lower, lower_id));
+                }
+                None => {
+                    leaf_count += 1;
+                    for &(x, y) in &bins {
+                        leaf_of[(y * cols + x) as usize] = node_id;
+                    }
+                }
+            }
+        }
+
+        CutTree {
+            nodes,
+            leaf_of,
+            cut_count,
+            leaf_count,
+        }
+    }
+
+    /// The gate the net `a`–`b` must cross, if its terminals fall in
+    /// different leaf regions: the detour-minimizing gate of the cut at
+    /// the lowest common ancestor of the two leaves.
+    fn crossing(&self, grid: &UnitGrid, a: Point, b: Point) -> Option<Point> {
+        let (ax, ay) = grid.cell_of(a);
+        let (bx, by) = grid.cell_of(b);
+        let la = self.leaf_of[(ay * grid.cols() + ax) as usize];
+        let lb = self.leaf_of[(by * grid.cols() + bx) as usize];
+        if la == lb {
+            return None;
+        }
+        let lca = self.lca(la, lb);
+        let gates = &self.nodes[lca as usize].gates;
+        let mut best: Option<(Um, Point)> = None;
+        for &g in gates {
+            let detour = a.manhattan_distance(g) + g.manhattan_distance(b);
+            // Strict `<` keeps the first (path-order) gate on ties.
+            if best.map_or(true, |(d, _)| detour < d) {
+                best = Some((detour, g));
+            }
+        }
+        best.map(|(_, g)| g)
+    }
+
+    fn lca(&self, mut a: u32, mut b: u32) -> u32 {
+        while self.nodes[a as usize].depth > self.nodes[b as usize].depth {
+            a = self.nodes[a as usize].parent.unwrap_or(a);
+        }
+        while self.nodes[b as usize].depth > self.nodes[a as usize].depth {
+            b = self.nodes[b as usize].parent.unwrap_or(b);
+        }
+        while a != b {
+            match (self.nodes[a as usize].parent, self.nodes[b as usize].parent) {
+                (Some(pa), Some(pb)) => {
+                    a = pa;
+                    b = pb;
+                }
+                // Unreachable on a well-formed tree: both chains reach
+                // the root together.
+                _ => return 0,
+            }
+        }
+        a
+    }
+}
+
+/// Bipartitions `bins` along the cheapest monotone staircase through
+/// their bounding box. Returns `(upper, lower, gates)`, or `None` when
+/// the cheapest staircase leaves one side empty (the region is not
+/// usefully divisible).
+///
+/// `falling` selects a `↘` staircase (top-left to bottom-right);
+/// otherwise `↗` (bottom-left to top-right). `tie_seed` disambiguates
+/// equal-cost paths deterministically.
+#[allow(clippy::type_complexity)]
+fn split_region(
+    bins: &[Bin],
+    costs: &CutCosts,
+    pitch: i64,
+    falling: bool,
+    tie_seed: u64,
+) -> Option<(Vec<Bin>, Vec<Bin>, Vec<Point>)> {
+    let bx0 = bins.iter().map(|&(x, _)| x).min()?;
+    let bx1 = bins.iter().map(|&(x, _)| x).max()?;
+    let by0 = bins.iter().map(|&(_, y)| y).min()?;
+    let by1 = bins.iter().map(|&(_, y)| y).max()?;
+    let w = (bx1 - bx0 + 1) as usize;
+    let h = (by1 - by0 + 1) as usize;
+
+    // Membership mask of the (possibly staircase-shaped) region.
+    let mut member = vec![false; w * h];
+    for &(x, y) in bins {
+        member[((y - by0) as usize) * w + (x - bx0) as usize] = true;
+    }
+    let in_region = |x: i64, y: i64| -> bool {
+        x >= bx0
+            && x <= bx1
+            && y >= by0
+            && y <= by1
+            && member[((y - by0) as usize) * w + (x - bx0) as usize]
+    };
+
+    // Backward DP over lattice corners: dist-to-end of the cheapest
+    // monotone path. Corners are local `(xi, yi)`, `0..=w` × `0..=h`.
+    // Falling: start (0, h), end (w, 0), moves right/down.
+    // Rising: start (0, 0), end (w, h), moves right/up.
+    //
+    // The cost is lexicographic, packed into one `u64`: the primary
+    // term counts modules sliced; the secondary term pulls horizontal
+    // runs toward the region's middle row and vertical runs toward its
+    // middle column, so that among equally module-free paths the
+    // *balanced* staircase wins and degenerate boundary-hugging cuts
+    // (which would leave one side empty) lose — even when modules span
+    // the region and force every column crossing to an extreme height.
+    let big = 2 * (w as u64) * (h as u64) + 1;
+    let idx = |xi: usize, yi: usize| yi * (w + 1) + xi;
+    let mut dte = vec![u64::MAX; (w + 1) * (h + 1)];
+    let h_cost = |xi: usize, yi: usize| {
+        let imbalance = (h as i64 - 2 * yi as i64).unsigned_abs();
+        costs.h_cost(bx0 + xi as i64, by0 + yi as i64) * big + imbalance
+    };
+    let v_cost = |xi: usize, row: usize| {
+        let imbalance = (w as i64 - 2 * xi as i64).unsigned_abs();
+        costs.v_cost(bx0 + xi as i64, by0 + row as i64) * big + imbalance
+    };
+    let end_yi = if falling { 0 } else { h };
+    dte[idx(w, end_yi)] = 0;
+    for xi in (0..=w).rev() {
+        let yi_order: Vec<usize> = if falling {
+            (0..=h).collect()
+        } else {
+            (0..=h).rev().collect()
+        };
+        for yi in yi_order {
+            let mut best = dte[idx(xi, yi)];
+            if xi < w {
+                let c = dte[idx(xi + 1, yi)];
+                if c != u64::MAX {
+                    best = best.min(c + h_cost(xi, yi));
+                }
+            }
+            if falling && yi > 0 {
+                let c = dte[idx(xi, yi - 1)];
+                if c != u64::MAX {
+                    best = best.min(c + v_cost(xi, yi - 1));
+                }
+            }
+            if !falling && yi < h {
+                let c = dte[idx(xi, yi + 1)];
+                if c != u64::MAX {
+                    best = best.min(c + v_cost(xi, yi));
+                }
+            }
+            dte[idx(xi, yi)] = best;
+        }
+    }
+
+    // Forward walk from the start corner along moves that stay on a
+    // cheapest path; residual ties fall to the seeded bit.
+    let (mut xi, mut yi) = (0usize, if falling { h } else { 0 });
+    let mut y_cut = vec![0i64; w];
+    let mut gates = Vec::new();
+    let mut step = 0u64;
+    while xi < w || yi != end_yi {
+        let right_cost = if xi < w {
+            let c = dte[idx(xi + 1, yi)];
+            (c != u64::MAX).then(|| c + h_cost(xi, yi))
+        } else {
+            None
+        };
+        let vert_target = if falling {
+            (yi > 0).then(|| yi - 1)
+        } else {
+            (yi < h).then(|| yi + 1)
+        };
+        let vert_cost = vert_target.and_then(|nyi| {
+            let c = dte[idx(xi, nyi)];
+            let row = if falling { yi - 1 } else { yi };
+            (c != u64::MAX).then(|| c + v_cost(xi, row))
+        });
+        let here = dte[idx(xi, yi)];
+        let go_right = match (right_cost, vert_cost) {
+            (Some(r), Some(v)) if r == here && v == here => splitmix64(tie_seed ^ step) & 1 == 0,
+            (Some(r), _) if r == here => true,
+            (_, Some(v)) if v == here => false,
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            // Both blocked: impossible, the end corner is reachable.
+            _ => return None,
+        };
+        step += 1;
+        if go_right {
+            // Right move along lattice line yi over column xi.
+            let x = bx0 + xi as i64;
+            let y = by0 + yi as i64;
+            y_cut[xi] = y;
+            if in_region(x, y) && in_region(x, y - 1) {
+                gates.push(gate_point(pitch, x, y, true));
+            }
+            xi += 1;
+        } else {
+            let x = bx0 + xi as i64;
+            let row = if falling { yi - 1 } else { yi };
+            let y_row = by0 + row as i64;
+            if in_region(x - 1, y_row) && in_region(x, y_row) {
+                gates.push(gate_point(pitch, x, y_row, false));
+            }
+            yi = if falling { yi - 1 } else { yi + 1 };
+        }
+    }
+
+    let mut upper = Vec::with_capacity(bins.len());
+    let mut lower = Vec::with_capacity(bins.len());
+    for &(x, y) in bins {
+        if y >= y_cut[(x - bx0) as usize] {
+            upper.push((x, y));
+        } else {
+            lower.push((x, y));
+        }
+    }
+    if upper.is_empty() || lower.is_empty() || gates.is_empty() {
+        return None;
+    }
+    Some((upper, lower, gates))
+}
+
+/// The µm midpoint of a gate edge. `horizontal` gates sit on lattice
+/// line `y` spanning column `x`; vertical gates on lattice line `x`
+/// spanning row `y`.
+fn gate_point(pitch: i64, x: i64, y: i64, horizontal: bool) -> Point {
+    if horizontal {
+        Point::new(Um(pitch * x + pitch / 2), Um(pitch * y))
+    } else {
+        Point::new(Um(pitch * x), Um(pitch * y + pitch / 2))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pt(x: i64, y: i64) -> Point {
+        Point::new(Um(x), Um(y))
+    }
+
+    fn chip() -> Rect {
+        Rect::from_origin_size(Point::ORIGIN, Um(300), Um(300))
+    }
+
+    /// Two full-height modules separated by a 20 µm channel at x = 150.
+    fn channel_modules() -> Vec<Rect> {
+        vec![
+            Rect::from_origin_size(pt(0, 0), Um(140), Um(300)),
+            Rect::from_origin_size(pt(160, 0), Um(140), Um(300)),
+        ]
+    }
+
+    fn cross_channel_segments() -> Vec<(Point, Point)> {
+        vec![
+            (pt(15, 45), pt(285, 45)),
+            (pt(15, 255), pt(285, 105)),
+            (pt(45, 135), pt(255, 165)),
+        ]
+    }
+
+    #[test]
+    fn usage_is_bit_identical_across_runs() {
+        let router = StaircaseRouter::new(StaircaseConfig::default());
+        let a = router.route(&chip(), &channel_modules(), &cross_channel_segments());
+        let b = router.route(&chip(), &channel_modules(), &cross_channel_segments());
+        assert_eq!(a.usage.counts(), b.usage.counts());
+        assert_eq!(a.routed_bins, b.routed_bins);
+    }
+
+    #[test]
+    fn usage_is_independent_of_net_order() {
+        let router = StaircaseRouter::new(StaircaseConfig::default());
+        let forward = cross_channel_segments();
+        let mut reversed = forward.clone();
+        reversed.reverse();
+        let a = router.route(&chip(), &channel_modules(), &forward);
+        let b = router.route(&chip(), &channel_modules(), &reversed);
+        assert_eq!(a.usage.counts(), b.usage.counts());
+    }
+
+    #[test]
+    fn total_usage_equals_routed_bins() {
+        let router = StaircaseRouter::new(StaircaseConfig::default());
+        let result = router.route(&chip(), &channel_modules(), &cross_channel_segments());
+        let total: u64 = result.usage.counts().iter().sum();
+        assert_eq!(total, result.routed_bins);
+        assert_eq!(result.routed_nets, 3);
+    }
+
+    #[test]
+    fn cut_tree_is_a_proper_binary_tree() {
+        let router = StaircaseRouter::new(StaircaseConfig::default());
+        let result = router.route(&chip(), &channel_modules(), &cross_channel_segments());
+        assert!(result.leaf_count >= 2, "a 10x10 grid must split");
+        assert_eq!(
+            result.cut_count + 1,
+            result.leaf_count,
+            "every cut adds exactly one region"
+        );
+    }
+
+    #[test]
+    fn root_cut_threads_the_module_channel() {
+        // The only module-free vertical line is x = 150; a balanced
+        // zero-slice cut must cross it, so nets spanning the channel
+        // deposit usage in the channel columns (bins 4 and 5).
+        let router = StaircaseRouter::new(StaircaseConfig::default());
+        let result = router.route(&chip(), &channel_modules(), &cross_channel_segments());
+        let grid = result.usage.grid();
+        let channel_usage: u64 = (0..grid.rows())
+            .map(|y| {
+                result.usage.counts()[(y * grid.cols() + 4) as usize]
+                    + result.usage.counts()[(y * grid.cols() + 5) as usize]
+            })
+            .sum();
+        assert!(channel_usage > 0);
+    }
+
+    #[test]
+    fn same_bin_nets_are_skipped() {
+        let router = StaircaseRouter::new(StaircaseConfig::default());
+        let result = router.route(&chip(), &[], &[(pt(15, 15), pt(20, 20))]);
+        assert_eq!(result.routed_nets, 0);
+        assert_eq!(result.routed_bins, 0);
+        assert_eq!(result.usage.peak(), 0);
+    }
+
+    #[test]
+    fn raster_matches_counts() {
+        let router = StaircaseRouter::new(StaircaseConfig::default());
+        let result = router.route(&chip(), &channel_modules(), &cross_channel_segments());
+        let raster = result.usage.raster();
+        for (i, &count) in result.usage.counts().iter().enumerate() {
+            assert!((raster.values()[i] - count as f64).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn single_bin_chip_routes_nothing() {
+        let tiny = Rect::from_origin_size(Point::ORIGIN, Um(20), Um(20));
+        let router = StaircaseRouter::new(StaircaseConfig::default());
+        let result = router.route(&tiny, &[], &[(pt(5, 5), pt(15, 15))]);
+        assert_eq!(result.routed_nets, 0);
+        assert_eq!(result.leaf_count, 1);
+    }
+}

@@ -104,3 +104,69 @@ proptest! {
         prop_assert!(result.grid.peak_usage() >= capacity || result.total_overflow == 0);
     }
 }
+
+mod staircase_properties {
+    use super::*;
+    use irgrid_route::{StaircaseConfig, StaircaseRouter};
+
+    /// A deterministic pseudo-placement: full-height blocks with
+    /// channels, so the cut tree has real structure to find.
+    fn modules() -> Vec<Rect> {
+        vec![
+            Rect::from_origin_size(Point::new(Um(0), Um(0)), Um(140), Um(280)),
+            Rect::from_origin_size(Point::new(Um(160), Um(0)), Um(130), Um(130)),
+            Rect::from_origin_size(Point::new(Um(160), Um(150)), Um(130), Um(130)),
+            Rect::from_origin_size(Point::new(Um(310), Um(0)), Um(280), Um(280)),
+            Rect::from_origin_size(Point::new(Um(0), Um(300)), Um(280), Um(290)),
+            Rect::from_origin_size(Point::new(Um(300), Um(300)), Um(290), Um(290)),
+        ]
+    }
+
+    fn staircase(seed: u64) -> StaircaseRouter {
+        StaircaseRouter::new(StaircaseConfig {
+            pitch: Um(30),
+            seed,
+            ..StaircaseConfig::default()
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn usage_map_is_bit_identical_across_runs(
+            segments in arb_segments(),
+            seed in 0u64..8,
+        ) {
+            let a = staircase(seed).route(&chip(), &modules(), &segments);
+            let b = staircase(seed).route(&chip(), &modules(), &segments);
+            prop_assert_eq!(a.usage.counts(), b.usage.counts());
+            prop_assert_eq!(a.routed_bins, b.routed_bins);
+            prop_assert_eq!(a.cut_count, b.cut_count);
+        }
+
+        #[test]
+        fn usage_map_is_independent_of_net_order(
+            segments in arb_segments(),
+            rotation in 0usize..14,
+            seed in 0u64..8,
+        ) {
+            let baseline = staircase(seed).route(&chip(), &modules(), &segments);
+            let mut reordered = segments.clone();
+            reordered.reverse();
+            let split = rotation % reordered.len().max(1);
+            reordered.rotate_left(split);
+            let shuffled = staircase(seed).route(&chip(), &modules(), &reordered);
+            prop_assert_eq!(baseline.usage.counts(), shuffled.usage.counts());
+            prop_assert_eq!(baseline.routed_bins, shuffled.routed_bins);
+        }
+
+        #[test]
+        fn usage_conserves_routed_bins(segments in arb_segments(), seed in 0u64..8) {
+            let result = staircase(seed).route(&chip(), &modules(), &segments);
+            let total: u64 = result.usage.counts().iter().sum();
+            prop_assert_eq!(total, result.routed_bins);
+            prop_assert!(result.cut_count + 1 == result.leaf_count);
+        }
+    }
+}
